@@ -1,0 +1,100 @@
+"""Ablation: emulator design choices (Appendix E).
+
+Sweeps the basis size p_eta around the paper's 5 and toggles the
+discrepancy term, measuring emulator reconstruction fidelity and posterior
+quality on the synthetic logistic test problem.  Expected shapes: explained
+variance saturates around the paper's p_eta; the discrepancy term absorbs
+systematic misfit (without it the observation-precision posterior must
+inflate the noise instead).
+"""
+
+import numpy as np
+import pytest
+
+from repro.calibration.basis import fit_basis
+from repro.calibration.gpmsa import GPMSACalibrator, log_counts
+from repro.calibration.lhs import ParameterSpace, sample_design
+
+T = 80
+
+
+def simulator(theta, rng=None, noise=0.0):
+    rate, size = theta
+    t = np.arange(T, dtype=np.float64)
+    curve = 2000.0 * size / (1.0 + np.exp(-rate * (t - 40)))
+    if noise and rng is not None:
+        curve = curve * rng.lognormal(0.0, noise, T)
+    return curve
+
+
+@pytest.fixture(scope="module")
+def training():
+    space = ParameterSpace(("rate", "size"), np.array([0.05, 0.5]),
+                           np.array([0.30, 2.0]))
+    rng = np.random.default_rng(50)
+    design = sample_design(space, 40, rng)
+    outputs = np.vstack([simulator(th, rng, noise=0.04) for th in design])
+    observed = simulator(np.array([0.18, 1.3]), rng, noise=0.04)
+    return space, design, outputs, observed
+
+
+def test_ablation_p_eta_sweep(benchmark, training, save_artifact):
+    _space, _design, outputs, _obs = training
+
+    def sweep():
+        logged = log_counts(outputs)
+        out = {}
+        for p in (1, 2, 3, 5, 8):
+            basis = fit_basis(logged, p_eta=p)
+            out[p] = {
+                "explained": float(basis.explained.sum()),
+                "recon_rmse": basis.reconstruction_error(logged),
+            }
+        return out
+
+    result = benchmark(sweep)
+    lines = [f"{'p_eta':>6}{'explained':>11}{'recon rmse':>12}"]
+    for p, s in result.items():
+        lines.append(f"{p:>6}{s['explained']:>11.4f}"
+                     f"{s['recon_rmse']:>12.5f}")
+    save_artifact("ablation_p_eta", "\n".join(lines))
+
+    # Explained variance is monotone in p and saturates by the paper's 5.
+    expl = [result[p]["explained"] for p in sorted(result)]
+    assert all(b >= a - 1e-12 for a, b in zip(expl, expl[1:]))
+    assert result[5]["explained"] > 0.99
+    assert result[5]["explained"] - result[8]["explained"] > -0.01
+    # Reconstruction error is monotone decreasing.
+    rmse = [result[p]["recon_rmse"] for p in sorted(result)]
+    assert all(b <= a + 1e-12 for a, b in zip(rmse, rmse[1:]))
+
+
+def test_ablation_discrepancy_toggle(benchmark, training, save_artifact):
+    space, design, outputs, observed = training
+
+    def toggle():
+        out = {}
+        for p_delta, label in ((7, "with-discrepancy"),
+                               (1, "minimal-discrepancy")):
+            cal = GPMSACalibrator(space, design, outputs, observed,
+                                  p_delta=p_delta, seed=51)
+            post = cal.calibrate(n_samples=400, burn_in=400)
+            out[label] = {
+                "theta_sd": post.theta_samples.std(axis=0),
+                "lambda_obs_med": float(np.median(post.lambda_obs)),
+                "accept": post.mcmc.accept_rate,
+            }
+        return out
+
+    result = benchmark.pedantic(toggle, rounds=1, iterations=1)
+    lines = []
+    for label, s in result.items():
+        lines.append(f"{label}: theta sd {np.round(s['theta_sd'], 4)}, "
+                     f"median lambda_obs {s['lambda_obs_med']:.1f}, "
+                     f"accept {s['accept']:.2f}")
+    save_artifact("ablation_discrepancy", "\n".join(lines))
+
+    # Both variants mix and produce finite posteriors.
+    for s in result.values():
+        assert 0.02 < s["accept"] < 0.95
+        assert (s["theta_sd"] > 0).all()

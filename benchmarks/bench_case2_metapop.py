@@ -1,0 +1,111 @@
+"""Case study 2: county-level projections with the metapopulation model.
+
+Reproduces Appendix F's workflow: SEIR dynamics across counties, Bayesian
+calibration of transmissibility and infectious duration by direct MCMC
+(Eq. 6), and projection of the five social-distancing scenarios with
+uncertainty bounds from the posterior sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metapop import (
+    ALL_SCENARIOS,
+    DISTANCE_JUN10_25,
+    MetapopModel,
+    SEIRParams,
+    calibrate_metapop,
+)
+from repro.surveillance.truth import GroundTruth
+
+HORIZON = 160
+TRUE_PARAMS = SEIRParams(beta=0.45, infectious_days=6.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = MetapopModel.for_region("VA")
+    rng = np.random.default_rng(3)
+    run = model.run(TRUE_PARAMS, HORIZON,
+                    beta_modifier=DISTANCE_JUN10_25.beta_modifier(),
+                    stochastic=True, rng=rng, initial_infected=30.0)
+    daily = run.confirmed.T
+    truth = GroundTruth("VA", np.arange(model.n_counties, dtype=np.int32),
+                        daily, np.cumsum(daily, axis=1))
+    cal = calibrate_metapop(model, truth, n_samples=500, burn_in=400,
+                            seed=4, initial_infected=30.0)
+    return model, truth, cal
+
+
+def test_case2_calibration_recovers_parameters(benchmark, setup,
+                                               save_artifact):
+    model, truth, cal = benchmark.pedantic(lambda: setup, rounds=1,
+                                           iterations=1)
+    post = cal.mcmc.samples
+    lines = [
+        f"true beta: {TRUE_PARAMS.beta}  "
+        f"posterior: {post[:, 0].mean():.3f} ± {post[:, 0].std():.3f}",
+        f"true infectious days: {TRUE_PARAMS.infectious_days}  "
+        f"posterior: {post[:, 1].mean():.2f} ± {post[:, 1].std():.2f}",
+        f"true R0: {TRUE_PARAMS.r0:.2f}  "
+        f"MAP R0: {cal.map_params.r0:.2f}",
+    ]
+    save_artifact("case2_calibration", "\n".join(lines))
+
+    assert abs(post[:, 0].mean() - TRUE_PARAMS.beta) < 0.1
+    r0s = post[:, 0] * post[:, 1]
+    assert abs(np.median(r0s) - TRUE_PARAMS.r0) < 0.8
+
+
+def test_case2_scenario_projections(benchmark, setup, save_artifact):
+    model, _truth, cal = setup
+
+    def project():
+        rng = np.random.default_rng(5)
+        out = {}
+        for sc in ALL_SCENARIOS:
+            finals = []
+            for params in cal.posterior_params(10, rng):
+                res = model.run(params, HORIZON,
+                                beta_modifier=sc.beta_modifier(),
+                                stochastic=True, rng=rng,
+                                initial_infected=30.0)
+                finals.append(res.state_confirmed_cumulative()[-1])
+            out[sc.name] = (float(np.median(finals)),
+                            float(np.quantile(finals, 0.05)),
+                            float(np.quantile(finals, 0.95)))
+        return out
+
+    proj = benchmark.pedantic(project, rounds=1, iterations=1)
+    lines = [f"{'scenario':<28}{'median':>14}{'5%':>14}{'95%':>14}"]
+    for name, (med, lo, hi) in proj.items():
+        lines.append(f"{name:<28}{med:>14,.0f}{lo:>14,.0f}{hi:>14,.0f}")
+    save_artifact("case2_projections", "\n".join(lines))
+
+    # Shape: worst case largest; intensity and duration both matter.
+    meds = {k: v[0] for k, v in proj.items()}
+    assert meds["worst-case"] == max(meds.values())
+    assert (meds["distancing-to-Jun10-50pct"]
+            < meds["distancing-to-Apr30-50pct"])
+    assert (meds["distancing-to-Apr30-50pct"]
+            < meds["distancing-to-Apr30-25pct"])
+    # Uncertainty bounds are genuine intervals.
+    for med, lo, hi in proj.values():
+        assert lo <= med <= hi
+
+
+def test_case2_county_resolution(benchmark, setup):
+    model, truth, cal = setup
+
+    def county_curves():
+        res = model.run(cal.map_params, HORIZON,
+                        beta_modifier=ALL_SCENARIOS[0].beta_modifier(),
+                        initial_infected=30.0)
+        return res.county_confirmed_cumulative()
+
+    curves = benchmark.pedantic(county_curves, rounds=1, iterations=1)
+    assert curves.shape == (model.n_counties, HORIZON)
+    # Bigger counties accumulate more cases (gravity seeding + mixing).
+    finals = curves[:, -1]
+    big = np.argmax(model.county_pop)
+    assert finals[big] == finals.max()

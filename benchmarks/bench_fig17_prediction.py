@@ -1,0 +1,81 @@
+"""Figure 17: cumulative confirmed-case prediction with uncertainty band.
+
+The paper shows Virginia's reported counts up to April 11, 2020, then the
+posterior-ensemble median prediction (blue) with a 95% uncertainty band
+(yellow) for the following eight weeks.
+
+Regenerated end-to-end: calibrate on the first part of the surveillance
+window, predict the rest, and check that the band is well-formed, widens
+with horizon, and brackets the subsequently "observed" truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration_wf import run_calibration_workflow
+from repro.core.prediction_wf import run_prediction_workflow
+from repro.core.runner import observed_series
+
+CAL_DAYS = 80
+HORIZON = 56  # eight weeks
+
+
+@pytest.fixture(scope="module")
+def forecast():
+    cal = run_calibration_workflow(
+        "VA", n_cells=30, n_days=CAL_DAYS, scale=1e-3, seed=2,
+        mcmc_samples=700, mcmc_burn_in=600)
+    pred = run_prediction_workflow(
+        cal, n_configurations=8, replicates=3, horizon=HORIZON, seed=3)
+    return cal, pred
+
+
+def test_fig17_band_structure(benchmark, forecast, save_artifact):
+    cal, pred = benchmark.pedantic(lambda: forecast, rounds=1, iterations=1)
+    band = pred.confirmed_band
+    t0 = CAL_DAYS
+    lines = [f"{'day':>5}{'median':>10}{'lower':>10}{'upper':>10}"]
+    for ahead in (0, 7, 14, 28, 42, 56):
+        d = t0 + ahead
+        lines.append(f"+{ahead:>4}{band.median[d]:>10.1f}"
+                     f"{band.lower[d]:>10.1f}{band.upper[d]:>10.1f}")
+    save_artifact("fig17_prediction_band", "\n".join(lines))
+
+    assert band.n_days == CAL_DAYS + HORIZON + 1
+    assert (band.lower <= band.median).all()
+    assert (band.median <= band.upper).all()
+    # Cumulative counts: the median forecast never decreases.
+    assert (np.diff(band.median) >= -1e-9).all()
+    # Uncertainty grows with horizon (the widening yellow band).
+    width_now = band.upper[t0] - band.lower[t0]
+    width_end = band.upper[-1] - band.lower[-1]
+    assert width_end >= width_now
+
+
+def test_fig17_brackets_future_truth(benchmark, forecast, save_artifact):
+    cal, pred = forecast
+
+    def coverage():
+        full = observed_series(
+            cal.assets.truth, cal.assets.scale,
+            cal.assets.truth.n_days - 1)
+        future = full[cal.onset_day: cal.onset_day + CAL_DAYS + HORIZON + 1]
+        band = pred.confirmed_band
+        inside = ((future >= band.lower) & (future <= band.upper))
+        return future, inside
+
+    future, inside = benchmark.pedantic(coverage, rounds=1, iterations=1)
+    save_artifact(
+        "fig17_coverage",
+        f"future-window coverage: {inside[CAL_DAYS:].mean():.0%}\n"
+        f"full-window coverage:   {inside.mean():.0%}")
+    # The 95% band should cover a solid majority of the forecast window.
+    assert inside[CAL_DAYS:].mean() > 0.5
+
+
+def test_fig17_ensemble_spread(benchmark, forecast):
+    _cal, pred = forecast
+    finals = pred.confirmed_ensemble[:, -1]
+    spread = benchmark(lambda: float(finals.max() - finals.min()))
+    assert pred.n_members == 24
+    assert spread > 0  # genuine ensemble variation

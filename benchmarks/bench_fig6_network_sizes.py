@@ -1,0 +1,55 @@
+"""Figure 6: node and edge counts of each state's contact network.
+
+Regenerates the per-state series in the paper's ascending-population order,
+both at paper scale (from the population shares) and by actually building a
+sample of scaled synthetic networks and checking that edge counts track the
+paper-scale distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import network_size_table, paper_scale_edges
+from repro.params import PAPER_TOTAL_EDGES, PAPER_TOTAL_NODES
+from repro.synthpop import BY_POPULATION, build_region_network
+
+
+def test_fig6_paper_scale_series(benchmark, save_artifact):
+    table = benchmark(network_size_table)
+    lines = [f"{'state':<7}{'nodes (x10M)':>14}{'edges (x100M)':>15}"]
+    for code, nodes, edges in table:
+        lines.append(f"{code:<7}{nodes / 1e7:>14.2f}{edges / 1e8:>15.2f}")
+    save_artifact("fig6_network_sizes", "\n".join(lines))
+
+    codes = [r[0] for r in table]
+    assert codes == list(BY_POPULATION)
+    nodes = np.asarray([r[1] for r in table])
+    edges = np.asarray([r[2] for r in table])
+    assert (np.diff(nodes) >= 0).all()  # ascending order (Figure 6 x-axis)
+    assert abs(nodes.sum() - PAPER_TOTAL_NODES) < 1e3
+    assert abs(edges.sum() - PAPER_TOTAL_EDGES) < 1e3
+    # CA is about 10x the median state (the figure's dominant bar).
+    assert edges[-1] > 8 * np.median(edges)
+
+
+def build_sample_networks():
+    sample = ("WY", "NM", "VA", "CA")
+    return {code: build_region_network(code, scale=1e-3, seed=6)[1]
+            for code in sample}
+
+
+def test_fig6_synthetic_networks_track_shares(benchmark, save_artifact):
+    nets = benchmark.pedantic(build_sample_networks, rounds=1, iterations=1)
+    lines = [f"{'state':<7}{'synthetic nodes':>16}{'synthetic edges':>16}"]
+    for code, net in nets.items():
+        lines.append(f"{code:<7}{net.n_nodes:>16,}{net.n_edges:>16,}")
+    save_artifact("fig6_synthetic_sample", "\n".join(lines))
+
+    # Relative edge counts of the synthetic networks follow the
+    # paper-scale shares within a factor ~2.
+    va, ca = nets["VA"], nets["CA"]
+    expected_ratio = paper_scale_edges("CA") / paper_scale_edges("VA")
+    actual_ratio = ca.n_edges / va.n_edges
+    assert expected_ratio / 2 < actual_ratio < expected_ratio * 2
+    sizes = [nets[c].n_edges for c in ("WY", "NM", "VA", "CA")]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,128 @@
+"""Figure 7: EpiHiper runtime scaling, three panels.
+
+Top:    runtime grows linearly with network size at fixed processing units.
+Middle: strong scaling — speedup grows, flattens, and eventually reverses;
+        the turnover point grows with problem size.
+Bottom: runtime by intervention scenario — base < RO ~ TA < PS < D1CT <
+        D2CT, with D2CT almost +300% over base.
+
+The top and bottom panels run the *real* simulator on scaled networks; the
+middle panel uses the simulated-rank execution profile (DESIGN.md
+substitution: communication is accounted, not transported).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import INTERVENTION_RUNTIME_FACTOR, CostModel
+from repro.epihiper import (
+    Simulation,
+    build_covid_model,
+    strong_scaling_curve,
+    uniform_seeds,
+)
+from repro.epihiper.npi import scenario_interventions
+from repro.synthpop import build_region_network
+
+DAYS = 60
+
+
+def run_region(code, interventions=None, seed=3):
+    pop, net = build_region_network(code, scale=1e-3, seed=6)
+    model = build_covid_model()
+    sim = Simulation(model, pop, net, seed=seed,
+                     interventions=interventions or [])
+    sim.seed_infections(uniform_seeds(pop, max(10, pop.size // 400),
+                                      sim.rng))
+    t0 = time.perf_counter()
+    result = sim.run(DAYS)
+    wall = time.perf_counter() - t0
+    return net, result, wall
+
+
+def test_fig7_top_runtime_linear_in_size(benchmark, save_artifact):
+    codes = ("WY", "NM", "OK", "VA", "OH", "CA")
+
+    def panel():
+        rows = []
+        for code in codes:
+            net, result, wall = run_region(code)
+            rows.append((code, net.n_edges, wall))
+        return rows
+
+    rows = benchmark.pedantic(panel, rounds=1, iterations=1)
+    lines = [f"{'state':<7}{'edges':>10}{'wall (s)':>10}"]
+    for code, edges, wall in rows:
+        lines.append(f"{code:<7}{edges:>10,}{wall:>10.3f}")
+    save_artifact("fig7_top_runtime_vs_size", "\n".join(lines))
+
+    edges = np.asarray([r[1] for r in rows], dtype=np.float64)
+    walls = np.asarray([r[2] for r in rows])
+    # Linear shape: strong positive correlation between size and runtime.
+    corr = np.corrcoef(edges, walls)[0, 1]
+    assert corr > 0.95
+    # The largest network costs several times the smallest.
+    assert walls[-1] > 3 * walls[0]
+
+
+def test_fig7_middle_strong_scaling(benchmark, save_artifact):
+    rank_counts = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+    def panel():
+        out = {}
+        for code in ("VT", "VA", "CA"):
+            net, result, _wall = run_region(code)
+            profs = strong_scaling_curve(result, net, rank_counts)
+            base = profs[0]
+            out[code] = [p.speedup_over(base) for p in profs]
+        return out
+
+    curves = benchmark.pedantic(panel, rounds=1, iterations=1)
+    lines = [f"{'ranks':>6}" + "".join(f"{c:>9}" for c in curves)]
+    for i, p in enumerate(rank_counts):
+        lines.append(f"{p:>6}" + "".join(
+            f"{curves[c][i]:>9.2f}" for c in curves))
+    save_artifact("fig7_middle_strong_scaling", "\n".join(lines))
+
+    for code, speedups in curves.items():
+        assert speedups[1] > 1.2  # parallelism helps initially
+        peak = int(np.argmax(speedups))
+        assert speedups[-1] < speedups[peak]  # eventually reverses
+    # Turnover grows with problem size.
+    peaks = {c: rank_counts[int(np.argmax(s))] for c, s in curves.items()}
+    assert peaks["VT"] <= peaks["VA"] <= peaks["CA"]
+    assert peaks["CA"] > peaks["VT"]
+
+
+def test_fig7_bottom_intervention_cost(benchmark, save_artifact):
+    scenarios = ("base", "RO", "TA", "PS", "D1CT", "D2CT")
+    cm = CostModel()
+
+    def panel():
+        rows = []
+        for name in scenarios:
+            net, result, wall = run_region(
+                "VA", interventions=scenario_interventions(name))
+            # Modelled runtime: paper-scale cost model, which folds the
+            # measured per-intervention work multipliers.
+            modelled = cm.expected_runtime("VA", 4, scenario=name)
+            ops = result.counters["intervention_edge_ops"]
+            rows.append((name, modelled, ops, wall))
+        return rows
+
+    rows = benchmark.pedantic(panel, rounds=1, iterations=1)
+    lines = [f"{'scenario':<8}{'modelled (s)':>14}{'edge ops':>12}"
+             f"{'wall (s)':>10}"]
+    for name, modelled, ops, wall in rows:
+        lines.append(f"{name:<8}{modelled:>14.0f}{ops:>12,}{wall:>10.3f}")
+    save_artifact("fig7_bottom_interventions", "\n".join(lines))
+
+    modelled = [r[1] for r in rows]
+    assert modelled == sorted(modelled)  # base < RO < TA < PS < D1CT < D2CT
+    base, d2ct = modelled[0], modelled[-1]
+    assert 3.5 < d2ct / base < 4.3  # "almost 300%" increase
+    # The real simulator does more intervention work for tracing too.
+    ops = {r[0]: r[2] for r in rows}
+    assert ops["D2CT"] > ops["D1CT"] > 0

@@ -1,0 +1,62 @@
+"""Figure 8: runtime variance across cells for each US state.
+
+Regenerates the per-state runtime distribution (box-plot data) for a
+representative day: for every region, 12 cells drawn from the cost model at
+its category node count.  Checks the paper's reading: runtimes range from
+about a hundred seconds (small states) to about 1400 seconds (large states
+with complex interventions), and are strongly correlated with network size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostModel, paper_scale_edges
+from repro.scheduling.categories import node_category
+from repro.synthpop.regions import ALL_CODES
+
+
+def sample_day(seed=0, cells=12):
+    cm = CostModel()
+    rng = np.random.default_rng(seed)
+    out = {}
+    for code in ALL_CODES:
+        nodes = node_category(code)
+        scenario = rng.choice(["base", "RO", "TA", "PS"])
+        times = [cm.sample_runtime(code, nodes, rng,
+                                   scenario=str(scenario)).runtime_seconds
+                 for _ in range(cells)]
+        out[code] = np.asarray(times)
+    return out
+
+
+def test_fig8_runtime_distribution(benchmark, save_artifact):
+    day = benchmark(sample_day)
+    lines = [f"{'state':<7}{'min':>8}{'median':>8}{'max':>8}"]
+    for code in ALL_CODES:
+        t = day[code]
+        lines.append(f"{code:<7}{t.min():>8.0f}{np.median(t):>8.0f}"
+                     f"{t.max():>8.0f}")
+    save_artifact("fig8_runtime_variance", "\n".join(lines))
+
+    medians = {c: float(np.median(day[c])) for c in ALL_CODES}
+    all_times = np.concatenate(list(day.values()))
+    # Paper's y-axis spans roughly 0-1400s.
+    assert all_times.min() > 20
+    assert 700 < all_times.max() < 3000
+    # Within-state spread exists (the box-plot whiskers).
+    assert all(day[c].std() > 0 for c in ALL_CODES)
+    # Runtime strongly correlated with network size.
+    sizes = np.asarray([paper_scale_edges(c) for c in ALL_CODES],
+                       dtype=np.float64)
+    meds = np.asarray([medians[c] for c in ALL_CODES])
+    # Node category partially offsets size, so use rank correlation.
+    from scipy.stats import spearmanr
+    rho, _p = spearmanr(sizes, meds)
+    assert rho > 0.5
+
+
+def test_fig8_california_range(benchmark):
+    day = benchmark(sample_day)
+    ca = day["CA"]
+    # 100-300 steps of about 3 seconds each (Section VI).
+    assert 300 < np.median(ca) < 1500

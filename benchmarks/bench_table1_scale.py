@@ -1,0 +1,56 @@
+"""Table I: scale and data volumes of the three workflow families.
+
+Paper row (cells x states x replicates = simulations; raw; summary):
+
+    Economic     12 x 51 x 15 =  9180   3.0TB  5.0GB (sic: summ col 2.5GB)
+    Prediction   12 x 51 x 15 =  9180   1.0TB  2.5GB
+    Calibration 300 x 51 x  1 = 15300   5.0TB  4.0GB
+
+We regenerate the same rows from the design definitions and the output-size
+accounting and check the magnitudes.
+"""
+
+import pytest
+
+from repro.core.accounting import account_workflow, table_i
+from repro.core.designs import (
+    calibration_design,
+    economic_design,
+    prediction_design,
+)
+from repro.params import GB, TB
+
+
+def compute_rows():
+    designs = [economic_design(), prediction_design(),
+               calibration_design(seed=0)]
+    return [account_workflow(d) for d in designs]
+
+
+def test_table1_rows(benchmark, save_artifact):
+    rows = benchmark(compute_rows)
+    text = table_i(rows)
+    save_artifact("table1_scale", text)
+
+    eco, pred, cal = rows
+    # Simulation counts are exact.
+    assert eco.n_simulations == 9180
+    assert pred.n_simulations == 9180
+    assert cal.n_simulations == 15300
+    # Volumes match the paper's order of magnitude and ordering.
+    assert 2 * TB < eco.raw_bytes < 4.5 * TB        # paper: 3.0TB
+    assert 0.5 * TB < pred.raw_bytes < 2 * TB       # paper: 1.0TB
+    assert 3.5 * TB < cal.raw_bytes < 6.5 * TB      # paper: 5.0TB
+    assert cal.raw_bytes > eco.raw_bytes > pred.raw_bytes
+    assert 1.5 * GB < eco.summary_bytes < 3.5 * GB  # paper: 2.5GB
+    assert 3 * GB < cal.summary_bytes < 5.5 * GB    # paper: 4.0GB
+
+
+def test_table1_entry_counts(benchmark):
+    rows = benchmark(compute_rows)
+    eco, _pred, cal = rows
+    # "about 1 billion entries" (economic), "about 1.5 billion" (calibr.).
+    assert 0.7e9 < eco.summary_entries < 1.3e9
+    assert 1.2e9 < cal.summary_entries < 1.8e9
+    # "multi-billion entries" of raw individual-level output.
+    assert eco.raw_entries > 1e9

@@ -1,0 +1,65 @@
+"""Table II: cluster configurations and daily data volumes.
+
+Regenerates the machine-spec rows and checks that the orchestrated daily
+data movement falls inside the paper's ranges: configurations 100MB-8.7GB,
+raw outputs 20GB-3.5TB, summaries 120MB-70GB, one-time staging 2TB.
+"""
+
+import pytest
+
+from repro.cluster.machines import BRIDGES, RIVANNA
+from repro.core.accounting import account_workflow
+from repro.core.designs import calibration_design, prediction_design
+from repro.core.orchestrator import orchestrate_night
+from repro.params import GB, MB, TB, fmt_bytes
+
+
+def spec_table():
+    lines = [f"{'':<22}{'remote (Bridges)':>20}{'home (Rivanna)':>20}"]
+    for label, attr in [
+        ("# nodes", "n_nodes"),
+        ("cpus/node", "cpus_per_node"),
+        ("cores/cpu", "cores_per_cpu"),
+        ("total cores", "total_cores"),
+    ]:
+        lines.append(f"{label:<22}{getattr(BRIDGES, attr):>20}"
+                     f"{getattr(RIVANNA, attr):>20}")
+    lines.append(f"{'ram/node':<22}{fmt_bytes(BRIDGES.ram_per_node_bytes):>20}"
+                 f"{fmt_bytes(RIVANNA.ram_per_node_bytes):>20}")
+    return "\n".join(lines)
+
+
+def test_table2_machines(benchmark, save_artifact):
+    text = benchmark(spec_table)
+    save_artifact("table2_machines", text)
+    assert BRIDGES.n_nodes == 720 and RIVANNA.n_nodes == 50
+    assert BRIDGES.total_cores > 20_000
+
+
+def nightly_volumes():
+    out = {}
+    for design in (prediction_design(), calibration_design(seed=0)):
+        report = orchestrate_night(design, seed=0)
+        out[design.name] = {
+            "configs": report.link.bytes_moved(src="rivanna", dst="bridges"),
+            "summaries": report.link.bytes_moved(src="bridges",
+                                                 dst="rivanna"),
+            "raw": account_workflow(design).raw_bytes,
+        }
+    return out
+
+
+def test_table2_daily_volumes(benchmark, save_artifact):
+    vols = benchmark.pedantic(nightly_volumes, rounds=1, iterations=1)
+    lines = [f"{'workflow':<14}{'configs':>12}{'raw output':>12}"
+             f"{'summaries':>12}"]
+    for name, v in vols.items():
+        lines.append(f"{name:<14}{fmt_bytes(v['configs']):>12}"
+                     f"{fmt_bytes(v['raw']):>12}"
+                     f"{fmt_bytes(v['summaries']):>12}")
+    save_artifact("table2_daily_volumes", "\n".join(lines))
+
+    for v in vols.values():
+        assert 100 * MB <= v["configs"] <= 8.7 * GB
+        assert 20 * GB <= v["raw"] <= 6 * TB
+        assert 120 * MB <= v["summaries"] <= 70 * GB

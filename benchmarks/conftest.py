@@ -1,0 +1,32 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures and, in
+addition to timing the computation, writes the reproduced rows/series to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can point at the artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(out_dir):
+    """Write a reproduced table/series to benchmarks/out/<name>.txt."""
+
+    def _save(name: str, text: str) -> Path:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,18 @@
+"""repro — reproduction of "Scalable Epidemiological Workflows to Support
+COVID-19 Planning and Response" (Machi et al., IPDPS 2021).
+
+Subpackages:
+
+- :mod:`repro.synthpop` — synthetic populations and contact networks.
+- :mod:`repro.epihiper` — the EpiHiper agent-based network simulator.
+- :mod:`repro.metapop` — county-level metapopulation SEIR model.
+- :mod:`repro.calibration` — GP-emulator Bayesian calibration (GPMSA-style).
+- :mod:`repro.cluster` — dual-cluster HPC substrate simulation.
+- :mod:`repro.scheduling` — WMP / DB-WMP mapping heuristics (NFDT/FFDT-DC).
+- :mod:`repro.surveillance` — synthetic county-level ground-truth data.
+- :mod:`repro.analytics` — aggregation, ensembles, forecast targets.
+- :mod:`repro.economics` — medical-cost model (case study 1).
+- :mod:`repro.core` — the end-to-end epidemiological workflows.
+"""
+
+__version__ = "1.0.0"

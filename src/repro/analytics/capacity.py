@@ -1,0 +1,137 @@
+"""Hospital-capacity analytics: resource depletion assessment.
+
+One of the four stated uses of the workflows is "guiding allocation of
+scarce resources and assessing depletion of current resources" (Section I),
+and case study 2 ingests "hospital bed and ventilator counts obtained from
+individual hospitals, as well as from the 2018 American Hospital
+Association (AHA) estimates."
+
+We substitute AHA data with per-capita national rates (DESIGN.md rule):
+about 2.4 staffed beds, 0.26 ICU beds and 0.10 ventilators per 1,000
+residents.  Given a simulated census series, the module reports overflow
+timing, magnitude and duration — the analyst-facing depletion products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..synthpop.regions import Region, get_region
+
+#: Per-1,000-resident capacity rates (AHA-like national averages).
+BEDS_PER_1000: float = 2.4
+ICU_BEDS_PER_1000: float = 0.26
+VENTILATORS_PER_1000: float = 0.10
+
+#: Fraction of staffed beds realistically available to a surge (the rest
+#: carry baseline non-COVID occupancy).
+SURGE_AVAILABLE_FRACTION: float = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class RegionCapacity:
+    """Care capacity of one region (absolute counts)."""
+
+    region_code: str
+    beds: int
+    icu_beds: int
+    ventilators: int
+
+    @property
+    def surge_beds(self) -> int:
+        """Beds actually available to the epidemic surge."""
+        return int(self.beds * SURGE_AVAILABLE_FRACTION)
+
+
+def region_capacity(
+    region: Region | str, *, scale: float = 1.0
+) -> RegionCapacity:
+    """AHA-substitute capacity for a region.
+
+    ``scale`` shrinks counts to the simulation scale so census series from
+    scaled runs compare against matching capacity.
+    """
+    if isinstance(region, str):
+        region = get_region(region)
+    pop = region.population * scale
+    return RegionCapacity(
+        region_code=region.code,
+        beds=max(1, round(pop / 1000 * BEDS_PER_1000)),
+        icu_beds=max(1, round(pop / 1000 * ICU_BEDS_PER_1000)),
+        ventilators=max(1, round(pop / 1000 * VENTILATORS_PER_1000)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OverflowReport:
+    """Depletion assessment of one census series against one capacity.
+
+    Attributes:
+        resource: label ("beds", "ventilators").
+        capacity: available units.
+        peak_demand: maximum census.
+        peak_day: tick of the maximum.
+        first_overflow_day: first tick demand exceeds capacity (-1 never).
+        overflow_days: ticks spent above capacity.
+        excess_patient_days: sum of (demand - capacity) over overflow days.
+    """
+
+    resource: str
+    capacity: int
+    peak_demand: int
+    peak_day: int
+    first_overflow_day: int
+    overflow_days: int
+    excess_patient_days: int
+
+    @property
+    def overflows(self) -> bool:
+        """Whether demand ever exceeds capacity."""
+        return self.overflow_days > 0
+
+    @property
+    def peak_utilization(self) -> float:
+        """Peak demand over capacity."""
+        return self.peak_demand / self.capacity if self.capacity else np.inf
+
+
+def assess_overflow(
+    census: np.ndarray, capacity: int, *, resource: str
+) -> OverflowReport:
+    """Compare a census series against a capacity."""
+    census = np.asarray(census)
+    over = census > capacity
+    first = int(np.argmax(over)) if over.any() else -1
+    excess = np.maximum(census - capacity, 0)
+    return OverflowReport(
+        resource=resource,
+        capacity=int(capacity),
+        peak_demand=int(census.max()) if census.size else 0,
+        peak_day=int(np.argmax(census)) if census.size else 0,
+        first_overflow_day=first,
+        overflow_days=int(over.sum()),
+        excess_patient_days=int(excess.sum()),
+    )
+
+
+def capacity_report(
+    hospital_census: np.ndarray,
+    ventilator_census: np.ndarray,
+    region: Region | str,
+    *,
+    scale: float = 1.0,
+) -> dict[str, OverflowReport]:
+    """Assess bed and ventilator depletion for one simulated region.
+
+    Beds are compared against surge-available capacity; ventilators
+    against the full inventory.
+    """
+    cap = region_capacity(region, scale=scale)
+    return {
+        "beds": assess_overflow(hospital_census, cap.surge_beds,
+                                resource="beds"),
+        "ventilators": assess_overflow(
+            ventilator_census, cap.ventilators, resource="ventilators"),
+    }

@@ -1,0 +1,104 @@
+"""Ensemble statistics over replicate simulations (prediction workflow).
+
+"The ensemble of the model configurations and the simulation output provides
+uncertainty quantification on the predictions" (Section II).  Given per-
+replicate time series this module produces median forecasts and uncertainty
+bands — the blue curve and yellow 95% band of Figure 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class EnsembleBand:
+    """Quantile summary of an ensemble of time series.
+
+    Attributes:
+        median: ``(T,)`` pointwise median.
+        lower: ``(T,)`` lower quantile bound.
+        upper: ``(T,)`` upper quantile bound.
+        level: nominal coverage of [lower, upper] (0.95 for a 95% band).
+    """
+
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    level: float
+
+    @property
+    def n_days(self) -> int:
+        """Length of the band."""
+        return int(self.median.shape[0])
+
+    def covers(self, observed: np.ndarray) -> np.ndarray:
+        """Pointwise coverage mask of an observed series."""
+        observed = np.asarray(observed)
+        if observed.shape[0] != self.n_days:
+            raise ValueError("observed series length mismatch")
+        return (observed >= self.lower) & (observed <= self.upper)
+
+    def empirical_coverage(self, observed: np.ndarray) -> float:
+        """Fraction of observed points inside the band."""
+        return float(self.covers(observed).mean())
+
+
+def ensemble_band(
+    series: np.ndarray, *, level: float = 0.95
+) -> EnsembleBand:
+    """Build a quantile band from an ``(R, T)`` stack of replicate series.
+
+    Args:
+        series: replicates x time matrix.
+        level: central coverage of the band (default the paper's 95%).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2 or series.shape[0] < 1:
+        raise ValueError("series must be (replicates, time) with >= 1 row")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    alpha = (1.0 - level) / 2.0
+    return EnsembleBand(
+        median=np.quantile(series, 0.5, axis=0),
+        lower=np.quantile(series, alpha, axis=0),
+        upper=np.quantile(series, 1.0 - alpha, axis=0),
+        level=level,
+    )
+
+
+def pool_cells(cell_series: list[np.ndarray]) -> np.ndarray:
+    """Pool replicate series from several cells into one ensemble matrix.
+
+    Prediction workflows pool all replicates of all plausible configurations
+    (cells) into a single ensemble; series must share a time axis.
+    """
+    if not cell_series:
+        raise ValueError("no cells given")
+    t = cell_series[0].shape[-1]
+    rows = []
+    for arr in cell_series:
+        arr = np.atleast_2d(np.asarray(arr, dtype=np.float64))
+        if arr.shape[-1] != t:
+            raise ValueError("cells disagree on horizon")
+        rows.append(arr)
+    return np.vstack(rows)
+
+
+def quantile_scores(
+    series: np.ndarray, observed: np.ndarray, quantiles: np.ndarray
+) -> float:
+    """Mean pinball loss of an ensemble against observations.
+
+    The score CDC-style forecast hubs use to rank submissions; lower is
+    better.  Useful for comparing calibrated against uncalibrated ensembles.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    qs = np.asarray(quantiles, dtype=np.float64)
+    preds = np.quantile(series, qs, axis=0)  # (Q, T)
+    diff = observed[None, :] - preds
+    loss = np.where(diff >= 0, qs[:, None] * diff, (qs[:, None] - 1) * diff)
+    return float(loss.mean())

@@ -1,0 +1,125 @@
+"""Transmission-tree analytics: generation intervals and reproduction
+numbers.
+
+EpiHiper's raw output carries full dendograms (who infected whom, when);
+the analysts' products built on them include effective-reproduction-number
+trajectories and generation-interval distributions, which this module
+recovers from a :class:`~repro.epihiper.output.TransitionLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..epihiper.output import TransitionLog
+
+
+@dataclass(frozen=True, slots=True)
+class TransmissionStats:
+    """Summary statistics of one run's transmission forest.
+
+    Attributes:
+        n_transmissions: secondary infections recorded.
+        mean_generation_interval: mean ticks between an infector's own
+            exposure and the exposures they cause.
+        offspring_mean / offspring_var: moments of the offspring
+            distribution over ever-infected persons (mean is the empirical
+            reproduction number; var >> mean signals superspreading).
+        secondary_cases_p90: the offspring count of the 90th-percentile
+            infector (dispersion indicator).
+    """
+
+    n_transmissions: int
+    mean_generation_interval: float
+    offspring_mean: float
+    offspring_var: float
+    secondary_cases_p90: float
+
+
+def _exposure_times(log: TransitionLog, exposed_code: int) -> dict[int, int]:
+    rows = log.entering(exposed_code)
+    return dict(zip(log.pid[rows].tolist(), log.tick[rows].tolist()))
+
+
+def generation_intervals(
+    log: TransitionLog, exposed_code: int
+) -> np.ndarray:
+    """Ticks between each infector's exposure and each caused exposure."""
+    exposure = _exposure_times(log, exposed_code)
+    rows = log.transmissions()
+    out = []
+    for pid, tick, infector in zip(
+        log.pid[rows], log.tick[rows], log.infector[rows]
+    ):
+        t0 = exposure.get(int(infector))
+        if t0 is not None:
+            out.append(int(tick) - t0)
+    return np.asarray(out, dtype=np.int64)
+
+
+def offspring_counts(
+    log: TransitionLog, exposed_code: int
+) -> np.ndarray:
+    """Secondary cases caused by each ever-infected person (incl. zeros)."""
+    exposure = _exposure_times(log, exposed_code)
+    counts = {pid: 0 for pid in exposure}
+    rows = log.transmissions()
+    for infector in log.infector[rows]:
+        key = int(infector)
+        if key in counts:
+            counts[key] += 1
+    return np.asarray(sorted(counts.values(), reverse=True), dtype=np.int64)
+
+
+def transmission_stats(
+    log: TransitionLog, exposed_code: int
+) -> TransmissionStats:
+    """Compute the full :class:`TransmissionStats` for a run."""
+    gi = generation_intervals(log, exposed_code)
+    off = offspring_counts(log, exposed_code)
+    return TransmissionStats(
+        n_transmissions=int(log.transmissions().size),
+        mean_generation_interval=float(gi.mean()) if gi.size else 0.0,
+        offspring_mean=float(off.mean()) if off.size else 0.0,
+        offspring_var=float(off.var()) if off.size else 0.0,
+        secondary_cases_p90=float(np.quantile(off, 0.9)) if off.size else 0.0,
+    )
+
+
+def effective_r_series(
+    log: TransitionLog,
+    exposed_code: int,
+    n_days: int,
+    *,
+    window: int = 7,
+) -> np.ndarray:
+    """Cohort-based effective reproduction number R_t per exposure day.
+
+    R_t for day t is the mean number of secondary cases eventually caused
+    by persons exposed in the ``window`` days ending at t.  Days whose
+    cohort is empty carry NaN.
+    """
+    exposure = _exposure_times(log, exposed_code)
+    secondary = {pid: 0 for pid in exposure}
+    rows = log.transmissions()
+    for infector in log.infector[rows]:
+        key = int(infector)
+        if key in secondary:
+            secondary[key] += 1
+
+    by_day_total = np.zeros(n_days + 1)
+    by_day_count = np.zeros(n_days + 1)
+    for pid, day in exposure.items():
+        if day <= n_days:
+            by_day_total[day] += secondary[pid]
+            by_day_count[day] += 1
+
+    out = np.full(n_days + 1, np.nan)
+    for t in range(n_days + 1):
+        lo = max(0, t - window + 1)
+        cohort = by_day_count[lo: t + 1].sum()
+        if cohort > 0:
+            out[t] = by_day_total[lo: t + 1].sum() / cohort
+    return out

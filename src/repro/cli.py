@@ -1,0 +1,184 @@
+"""Command-line interface to the reproduction.
+
+Subcommands mirror the operational steps of the paper's pipeline::
+
+    repro info                       # regions, categories, machine specs
+    repro synth VA --scale 1e-3 -o out/       # build population + network
+    repro simulate VA --days 120 --tau 0.22   # run EpiHiper for one region
+    repro calibrate VA --cells 30 --days 80   # case-study-3 calibration
+    repro night prediction                    # orchestrate a nightly cycle
+
+Run ``python -m repro.cli <cmd> -h`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .cluster.machines import BRIDGES, RIVANNA
+    from .scheduling.categories import category_table
+    from .synthpop.regions import REGIONS, total_counties, total_population
+
+    print(f"regions: {len(REGIONS)} (50 states + DC), "
+          f"{total_counties()} counties, "
+          f"{total_population() / 1e6:.0f}M residents")
+    cats = category_table()
+    for name, codes in cats.items():
+        print(f"{name:<7} ({len(codes):>2}): {' '.join(codes)}")
+    for spec in (BRIDGES, RIVANNA):
+        print(f"{spec.name}: {spec.n_nodes} nodes x "
+              f"{spec.cores_per_node} cores = {spec.total_cores} cores")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .synthpop import build_region_network
+    from .synthpop.io import write_network_csv, write_persons_csv
+
+    pop, net = build_region_network(args.region, scale=args.scale,
+                                    seed=args.seed)
+    print(f"{args.region}: {pop.size:,} persons, {net.n_edges:,} edges, "
+          f"mean degree {net.mean_degree():.1f}")
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        p = out / f"{args.region.lower()}_persons.csv"
+        e = out / f"{args.region.lower()}_network.csv"
+        write_persons_csv(pop, p)
+        write_network_csv(net, e)
+        print(f"wrote {p} and {e}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .analytics import CONFIRMED, DEATHS, summarize, target_series
+    from .core.runner import load_region_assets, run_instance
+
+    assets = load_region_assets(args.region, args.scale, args.seed)
+    params = {"TAU": args.tau, "SYMP": args.symp}
+    if args.sh_compliance is not None:
+        params["SH_COMPLIANCE"] = args.sh_compliance
+    if args.vhi_compliance is not None:
+        params["VHI_COMPLIANCE"] = args.vhi_compliance
+    result, model = run_instance(assets, params, n_days=args.days,
+                                 seed=args.seed)
+    summary = summarize(result, model)
+    confirmed = target_series(summary, model, CONFIRMED)
+    deaths = target_series(summary, model, DEATHS)
+    print(f"{args.region}: attack {result.attack_rate(model):.1%}, "
+          f"peak day {result.peak_day(model)}, "
+          f"confirmed {confirmed[-1]:,}, deaths {deaths[-1]:,}")
+    if args.csv:
+        import csv as _csv
+
+        with open(args.csv, "w", newline="") as fh:
+            w = _csv.writer(fh)
+            w.writerow(["day", "confirmed_cumulative", "deaths_cumulative"])
+            for d in range(args.days + 1):
+                w.writerow([d, int(confirmed[d]), int(deaths[d])])
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core.calibration_wf import run_calibration_workflow
+
+    cal = run_calibration_workflow(
+        args.region, n_cells=args.cells, n_days=args.days,
+        scale=args.scale, seed=args.seed,
+        mcmc_samples=args.samples, mcmc_burn_in=args.burn_in)
+    tight = cal.posterior.tightening()
+    post = cal.posterior.theta_samples
+    print(f"{args.region}: calibrated {args.cells} cells over "
+          f"{args.days} days (onset at surveillance day {cal.onset_day})")
+    for k, name in enumerate(cal.space.names):
+        print(f"  {name:<16} posterior {post[:, k].mean():.3f} "
+              f"± {post[:, k].std():.3f}  (tightening {tight[k]:.2f}x)")
+    corr = cal.posterior.posterior_correlation()
+    print(f"  corr(TAU, SYMP) = {corr[0, 1]:+.3f}")
+    return 0
+
+
+def _cmd_night(args: argparse.Namespace) -> int:
+    from .core.designs import (
+        calibration_design,
+        economic_design,
+        prediction_design,
+    )
+    from .core.orchestrator import orchestrate_night
+
+    designs = {
+        "prediction": prediction_design,
+        "economic": economic_design,
+        "calibration": lambda: calibration_design(seed=args.seed),
+    }
+    design = designs[args.workflow]()
+    report = orchestrate_night(design, algorithm=args.algorithm,
+                               seed=args.seed)
+    print(report.summary())
+    return 0 if report.fits_window else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable epidemiological workflows (IPDPS 2021 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="regions, categories, machine specs")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("synth", help="build a region's synthetic inputs")
+    p.add_argument("region")
+    p.add_argument("--scale", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="directory for CSV outputs")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("simulate", help="run EpiHiper for one region")
+    p.add_argument("region")
+    p.add_argument("--days", type=int, default=120)
+    p.add_argument("--scale", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tau", type=float, default=0.18)
+    p.add_argument("--symp", type=float, default=0.65)
+    p.add_argument("--sh-compliance", type=float)
+    p.add_argument("--vhi-compliance", type=float)
+    p.add_argument("--csv", help="write the daily series to this file")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("calibrate", help="run the calibration workflow")
+    p.add_argument("region")
+    p.add_argument("--cells", type=int, default=30)
+    p.add_argument("--days", type=int, default=80)
+    p.add_argument("--scale", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--samples", type=int, default=800)
+    p.add_argument("--burn-in", type=int, default=600)
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("night", help="orchestrate one nightly cycle")
+    p.add_argument("workflow",
+                   choices=("prediction", "economic", "calibration"))
+    p.add_argument("--algorithm", default="FFDT-DC",
+                   choices=("FFDT-DC", "NFDT-DC"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_night)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Dual-cluster HPC substrate: machines, scheduler, DBs, transfers, costs."""
+
+from .costmodel import (
+    CostModel,
+    INTERVENTION_RUNTIME_FACTOR,
+    JobEstimate,
+    network_size_table,
+    paper_scale_edges,
+    paper_scale_nodes,
+)
+from .events import EventLoop
+from .failures import (
+    FailureEvent,
+    FaultyRunResult,
+    FaultySlurmSimulator,
+    FlakyGlobusLink,
+    QueueingDatabase,
+)
+from .globus import (
+    GlobusLink,
+    TABLE_II_SIZES,
+    TransferRecord,
+)
+from .jobscript import (
+    JobScript,
+    array_script,
+    database_script,
+    scripts_from_packing,
+)
+from .machines import (
+    AccessWindow,
+    BRIDGES,
+    ClusterSpec,
+    NIGHTLY_WINDOW,
+    RIVANNA,
+)
+from .popdb import (
+    ConnectionLimitExceeded,
+    DBConnection,
+    DatabaseFleet,
+    PopulationDatabase,
+)
+from .slurm import (
+    Job,
+    JobRecord,
+    ScheduleResult,
+    SlurmSimulator,
+)
+
+__all__ = [
+    "JobScript",
+    "array_script",
+    "database_script",
+    "scripts_from_packing",
+    "FailureEvent",
+    "FaultyRunResult",
+    "FaultySlurmSimulator",
+    "FlakyGlobusLink",
+    "QueueingDatabase",
+    "AccessWindow",
+    "BRIDGES",
+    "ClusterSpec",
+    "ConnectionLimitExceeded",
+    "CostModel",
+    "DBConnection",
+    "DatabaseFleet",
+    "EventLoop",
+    "GlobusLink",
+    "INTERVENTION_RUNTIME_FACTOR",
+    "Job",
+    "JobEstimate",
+    "JobRecord",
+    "NIGHTLY_WINDOW",
+    "PopulationDatabase",
+    "RIVANNA",
+    "ScheduleResult",
+    "SlurmSimulator",
+    "TABLE_II_SIZES",
+    "TransferRecord",
+    "network_size_table",
+    "paper_scale_edges",
+    "paper_scale_nodes",
+]

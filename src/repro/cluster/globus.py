@@ -1,0 +1,110 @@
+"""Globus-style data transfer between the two clusters (Section IV).
+
+"The data transfer between the home cluster and remote super-computing
+cluster utilizes the Globus platform."  This model reproduces the transfer
+timing and volume accounting of Figure 1 / Table II: endpoints with a
+bandwidth and per-transfer startup latency, a manual-initiation delay (the
+paper starts configuration transfers manually), and a ledger of everything
+moved in each direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..params import GB, MB, TB, fmt_bytes
+
+#: Effective wide-area bandwidth between UVA and PSC (bytes/second).
+DEFAULT_BANDWIDTH: float = 1.2 * GB  # ~10 Gbit/s effective
+#: Per-transfer checksum/startup overhead.
+STARTUP_SECONDS: float = 20.0
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One completed transfer."""
+
+    name: str
+    src: str
+    dst: str
+    size_bytes: int
+    started_at: float
+    duration: float
+
+    @property
+    def finished_at(self) -> float:
+        """Completion time."""
+        return self.started_at + self.duration
+
+
+@dataclass
+class GlobusLink:
+    """A bidirectional transfer link between two endpoints.
+
+    Args:
+        endpoint_a / endpoint_b: endpoint names ("rivanna", "bridges").
+        bandwidth: bytes per second.
+        manual_delay: seconds of human latency before a manually started
+            transfer actually begins (Figure 2's human-effort steps).
+    """
+
+    endpoint_a: str
+    endpoint_b: str
+    bandwidth: float = DEFAULT_BANDWIDTH
+    manual_delay: float = 0.0
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def duration_of(self, size_bytes: int) -> float:
+        """Modelled wall-clock for one transfer of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        return STARTUP_SECONDS + self.manual_delay + size_bytes / self.bandwidth
+
+    def transfer(
+        self, name: str, src: str, dst: str, size_bytes: int, *,
+        now: float = 0.0,
+    ) -> TransferRecord:
+        """Execute (account) a transfer and append it to the ledger."""
+        if {src, dst} - {self.endpoint_a, self.endpoint_b}:
+            raise ValueError(f"unknown endpoint in {src!r}->{dst!r}")
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        rec = TransferRecord(
+            name=name, src=src, dst=dst, size_bytes=size_bytes,
+            started_at=now, duration=self.duration_of(size_bytes))
+        self.records.append(rec)
+        return rec
+
+    # -- ledger ----------------------------------------------------------------
+
+    def bytes_moved(self, src: str | None = None,
+                    dst: str | None = None) -> int:
+        """Total bytes transferred, optionally filtered by direction."""
+        return sum(
+            r.size_bytes for r in self.records
+            if (src is None or r.src == src)
+            and (dst is None or r.dst == dst))
+
+    def total_transfer_time(self) -> float:
+        """Sum of all transfer durations (serial execution model)."""
+        return sum(r.duration for r in self.records)
+
+    def summary(self) -> str:
+        """Human-readable per-direction ledger."""
+        a, b = self.endpoint_a, self.endpoint_b
+        lines = [
+            f"{a} -> {b}: {fmt_bytes(self.bytes_moved(src=a, dst=b))}",
+            f"{b} -> {a}: {fmt_bytes(self.bytes_moved(src=b, dst=a))}",
+            f"transfers: {len(self.records)}, "
+            f"total time {self.total_transfer_time() / 3600:.2f}h",
+        ]
+        return "\n".join(lines)
+
+
+#: Canonical artefact sizes of Table II (min/max of each daily range).
+TABLE_II_SIZES: dict[str, tuple[int, int]] = {
+    "traits_and_networks": (2 * TB, 2 * TB),  # one-time
+    "daily_configurations": (100 * MB, int(8.7 * GB)),
+    "raw_outputs": (20 * GB, int(3.5 * TB)),
+    "summarized_outputs": (120 * MB, 70 * GB),
+}

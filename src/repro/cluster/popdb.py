@@ -1,0 +1,168 @@
+"""Population-database servers with connection caps (Sections III-V).
+
+The production system loads each region's synthetic population into a
+PostgreSQL server ("for design reasons, but also to avoid the cost of
+parsing and reading files from the file system during simulations"), one
+server per population, instantiated from pre-built snapshots at run time.
+"The number of simultaneous connections to the database are upper bounded
+for technology and efficiency reasons" — the constraint that turns the
+workflow mapping problem into DB-WMP.
+
+This in-memory stand-in enforces exactly that constraint and reproduces the
+query surface the simulations need (trait lookup by person id), plus
+snapshot save/instantiate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..synthpop.persons import Population
+
+#: Default per-server simultaneous connection cap B(T[r]).
+DEFAULT_MAX_CONNECTIONS: int = 48
+
+#: Modelled snapshot instantiation time (seconds) per million persons —
+#: "to speed up the start of the population databases, snapshots of the
+#: databases are generated when the populations are initially created".
+SNAPSHOT_SECONDS_PER_M: float = 30.0
+COLD_LOAD_SECONDS_PER_M: float = 600.0
+
+
+class ConnectionLimitExceeded(RuntimeError):
+    """Raised when a task would exceed the server's connection cap."""
+
+
+@dataclass
+class DBConnection:
+    """A live client connection; release it when the task finishes."""
+
+    server: "PopulationDatabase"
+    task_id: str
+    closed: bool = False
+
+    def close(self) -> None:
+        """Release the slot back to the server."""
+        if not self.closed:
+            self.server._release(self)
+            self.closed = True
+
+    def __enter__(self) -> "DBConnection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PopulationDatabase:
+    """One region's population server.
+
+    Args:
+        pop: the population served.
+        max_connections: simultaneous connection cap.
+        from_snapshot: whether start-up used a snapshot (fast path).
+    """
+
+    def __init__(
+        self,
+        pop: Population,
+        *,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        from_snapshot: bool = True,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be positive")
+        self.pop = pop
+        self.region_code = pop.region_code
+        self.max_connections = max_connections
+        self.from_snapshot = from_snapshot
+        self._live: list[DBConnection] = []
+        self.peak_connections = 0
+        self.total_queries = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def startup_seconds(self) -> float:
+        """Modelled start-up latency (snapshot vs cold CSV load)."""
+        millions = self.pop.size / 1e6
+        rate = (SNAPSHOT_SECONDS_PER_M if self.from_snapshot
+                else COLD_LOAD_SECONDS_PER_M)
+        return max(1.0, millions * rate)
+
+    # -- connections ------------------------------------------------------------
+
+    @property
+    def active_connections(self) -> int:
+        """Currently open connections."""
+        return len(self._live)
+
+    def connect(self, task_id: str) -> DBConnection:
+        """Open a connection; raises when the cap would be exceeded."""
+        if len(self._live) >= self.max_connections:
+            raise ConnectionLimitExceeded(
+                f"{self.region_code}: cap {self.max_connections} reached")
+        conn = DBConnection(self, task_id)
+        self._live.append(conn)
+        self.peak_connections = max(self.peak_connections, len(self._live))
+        return conn
+
+    def _release(self, conn: DBConnection) -> None:
+        self._live.remove(conn)
+
+    # -- query surface ------------------------------------------------------------
+
+    def query_traits(
+        self, conn: DBConnection, pids: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Trait lookup by person id (the simulation's run-time access)."""
+        if conn.closed or conn.server is not self:
+            raise RuntimeError("query on a closed or foreign connection")
+        pids = np.asarray(pids, dtype=np.int64)
+        self.total_queries += 1
+        return {
+            "hid": self.pop.hid[pids],
+            "age": self.pop.age[pids],
+            "age_group": self.pop.age_group[pids],
+            "gender": self.pop.gender[pids],
+            "county": self.pop.county[pids],
+        }
+
+    def query_county_members(
+        self, conn: DBConnection, county: int
+    ) -> np.ndarray:
+        """Person ids living in ``county`` (seeding queries)."""
+        if conn.closed:
+            raise RuntimeError("query on a closed connection")
+        self.total_queries += 1
+        return self.pop.pid[self.pop.county == county]
+
+
+@dataclass
+class DatabaseFleet:
+    """One server per region, each pinned to its own compute node (Step 1
+    of the mapping heuristic: "Split the overall database so that we have
+    one database per region ... each such database occupies one node")."""
+
+    servers: dict[str, PopulationDatabase] = field(default_factory=dict)
+
+    def add(self, db: PopulationDatabase) -> None:
+        """Register a server (one per region)."""
+        if db.region_code in self.servers:
+            raise ValueError(f"duplicate server for {db.region_code}")
+        self.servers[db.region_code] = db
+
+    @property
+    def nodes_used(self) -> int:
+        """Compute nodes occupied by database servers."""
+        return len(self.servers)
+
+    def connect(self, region_code: str, task_id: str) -> DBConnection:
+        """Connect a task to its region's server."""
+        return self.servers[region_code].connect(task_id)
+
+    def max_parallel_tasks(self, region_code: str) -> int:
+        """The DB-WMP bound B(T[r]) for a region."""
+        return self.servers[region_code].max_connections

@@ -1,0 +1,203 @@
+"""The calibration workflow (Figure 4 and Case study 3).
+
+Steps, as in the paper:
+
+1. Ingest county-level incidence data (synthetic multi-source surveillance).
+2. Generate a prior design of model configurations (LHS over TAU, SYMP and
+   the SH / VHI compliances — the Figure 15 parameters).
+3. Simulate every cell with EpiHiper and aggregate simulated case counts.
+4. Compare against ground truth with the Bayesian GP-emulator framework and
+   produce plausible posterior configurations for the prediction workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..calibration.gpmsa import CalibrationResult, GPMSACalibrator
+from ..calibration.lhs import ParameterSpace, sample_design
+from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from .designs import case_study_space
+from .runner import (
+    RegionAssets,
+    confirmed_series,
+    load_region_assets,
+    observed_series,
+    run_instance,
+)
+
+
+@dataclass(frozen=True)
+class CalibrationWorkflowResult:
+    """Everything the calibration workflow hands downstream.
+
+    Attributes:
+        region_code: calibrated region.
+        space: parameter space.
+        prior_design: ``(n_cells, d)`` LHS prior configurations.
+        sim_series: ``(n_cells, T + 1)`` simulated confirmed curves.
+        observed: ``(T + 1,)`` ground truth at simulation scale.
+        posterior: the Bayesian calibration output.
+        calibrator: the fitted emulator (for Figure 16 bands).
+        assets: the region inputs used.
+    """
+
+    region_code: str
+    space: ParameterSpace
+    prior_design: np.ndarray
+    sim_series: np.ndarray
+    observed: np.ndarray
+    posterior: CalibrationResult
+    calibrator: GPMSACalibrator
+    assets: RegionAssets
+    onset_day: int = 0  #: surveillance day aligned with simulation tick 0
+
+    def posterior_configurations(
+        self, n: int, rng: np.random.Generator
+    ) -> list[dict[str, float]]:
+        """``n`` posterior cells as runner-compatible parameter dicts."""
+        draws = self.posterior.select_configurations(n, rng)
+        return [dict(zip(self.space.names, row.tolist())) for row in draws]
+
+
+def run_calibration_workflow(
+    region_code: str = "VA",
+    *,
+    n_cells: int = 40,
+    n_days: int = 80,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    space: ParameterSpace | None = None,
+    mcmc_samples: int = 1200,
+    mcmc_burn_in: int = 800,
+) -> CalibrationWorkflowResult:
+    """Execute the full calibration workflow for one region.
+
+    Args:
+        region_code: region to calibrate (case study 3 uses Virginia).
+        n_cells: prior design size (the case study uses 100; the paper's
+            production calibration runs 300 per region).
+        n_days: observation window in ticks.
+        scale: simulation scale.
+        seed: master seed.
+        space: parameter space override (defaults to the Figure 15 space).
+        mcmc_samples / mcmc_burn_in: posterior exploration budget.
+    """
+    space = space or case_study_space()
+    rng = np.random.default_rng((seed, 11))
+    assets = load_region_assets(region_code, scale, seed)
+
+    prior = sample_design(space, n_cells, rng)
+    series = np.empty((n_cells, n_days + 1))
+    for i, row in enumerate(prior):
+        params = dict(zip(space.names, row.tolist()))
+        result, model = run_instance(
+            assets, params, n_days=n_days, seed=seed + 1000 + i)
+        series[i] = confirmed_series(result, model, n_days)
+
+    # Align the simulation clock with the outbreak: surveillance leads
+    # with a quiet importation period, while simulations are seeded "now".
+    # Tick 0 therefore corresponds to the first surveillance day with a
+    # meaningful case count (mirroring the paper's seeding from current
+    # county-level confirmed cases).
+    full = observed_series(assets.truth, scale,
+                           assets.truth.n_days - 1)
+    nz = np.flatnonzero(full >= 1.0)
+    onset = int(nz[0]) if nz.size else 0
+    onset = min(onset, full.shape[0] - (n_days + 1))
+    observed = full[onset: onset + n_days + 1]
+
+    calibrator = GPMSACalibrator(
+        space, prior, series, observed, seed=seed + 17)
+    posterior = calibrator.calibrate(
+        n_samples=mcmc_samples, burn_in=mcmc_burn_in)
+
+    return CalibrationWorkflowResult(
+        region_code=region_code,
+        space=space,
+        prior_design=prior,
+        sim_series=series,
+        observed=observed,
+        posterior=posterior,
+        calibrator=calibrator,
+        assets=assets,
+        onset_day=onset,
+    )
+
+
+def run_iterative_calibration(
+    region_code: str = "VA",
+    *,
+    n_rounds: int = 2,
+    n_cells: int = 25,
+    n_days: int = 80,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    mcmc_samples: int = 800,
+    mcmc_burn_in: int = 600,
+) -> list[CalibrationWorkflowResult]:
+    """Sequential calibration rounds (Figure 16's "continue calibrating
+    with more iterations").
+
+    Round 1 trains on an LHS prior; each later round augments the training
+    set with simulations at configurations drawn from the previous round's
+    posterior — concentrating emulator accuracy where the posterior lives,
+    the standard sequential-design refinement.
+
+    Returns one :class:`CalibrationWorkflowResult` per round; successive
+    posteriors should tighten (or hold) as the emulator improves.
+    """
+    if n_rounds < 1:
+        raise ValueError("need at least one round")
+    results: list[CalibrationWorkflowResult] = []
+    space = case_study_space()
+    assets = load_region_assets(region_code, scale, seed)
+    rng = np.random.default_rng((seed, 29))
+
+    design = sample_design(space, n_cells, rng)
+    series_rows: list[np.ndarray] = []
+    design_rows: list[np.ndarray] = []
+    run_counter = 0
+
+    for round_idx in range(n_rounds):
+        for row in design:
+            params = dict(zip(space.names, row.tolist()))
+            result, model = run_instance(
+                assets, params, n_days=n_days,
+                seed=seed + 3000 + run_counter)
+            run_counter += 1
+            series_rows.append(confirmed_series(result, model, n_days))
+            design_rows.append(row)
+
+        all_design = np.vstack(design_rows)
+        all_series = np.vstack(series_rows)
+        full = observed_series(assets.truth, scale,
+                               assets.truth.n_days - 1)
+        nz = np.flatnonzero(full >= 1.0)
+        onset = int(nz[0]) if nz.size else 0
+        onset = min(onset, full.shape[0] - (n_days + 1))
+        observed = full[onset: onset + n_days + 1]
+
+        calibrator = GPMSACalibrator(
+            space, all_design, all_series, observed,
+            seed=seed + 17 + round_idx)
+        posterior = calibrator.calibrate(
+            n_samples=mcmc_samples, burn_in=mcmc_burn_in)
+        results.append(CalibrationWorkflowResult(
+            region_code=region_code,
+            space=space,
+            prior_design=all_design,
+            sim_series=all_series,
+            observed=observed,
+            posterior=posterior,
+            calibrator=calibrator,
+            assets=assets,
+            onset_day=onset,
+        ))
+        # Next round's design: draws from this posterior.
+        if round_idx + 1 < n_rounds:
+            design = posterior.select_configurations(
+                max(5, n_cells // 2), rng)
+    return results

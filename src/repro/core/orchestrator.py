@@ -1,0 +1,222 @@
+"""Dual-cluster orchestration: the Figure 1 combined workflow and the
+Figure 2 multi-day timeline.
+
+Each nightly cycle: configurations are generated on the home cluster,
+transferred to the remote supercluster via Globus, population databases are
+instantiated from snapshots, the packed job array runs inside the 10-hour
+window under the FFDT-DC mapping, summaries are generated and transferred
+back, and home-cluster analytics close the loop.  The orchestrator builds
+this as a :class:`~repro.core.engine.WorkflowEngine` graph with paper-scale
+artifact sizes, so the run reproduces both the data-movement ledger
+(Table II) and the window-fit check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.globus import GlobusLink
+from ..cluster.machines import BRIDGES, NIGHTLY_WINDOW, AccessWindow, ClusterSpec
+from ..cluster.popdb import SNAPSHOT_SECONDS_PER_M
+from ..cluster.slurm import ScheduleResult
+from ..params import MB, TB
+from ..scheduling.levels import pack_ffdt_dc, pack_nfdt_dc
+from ..scheduling.metrics import execute_packing
+from ..scheduling.wmp import make_nightly_instance
+from .accounting import account_workflow
+from .designs import ExperimentDesign
+from .engine import WorkflowEngine, WorkflowRun
+from .tasks import HOME, REMOTE, DataArtifact, WorkflowTask
+
+#: Modelled home-side step durations (seconds), from the Figure 2 cadence.
+CONFIG_GENERATION_SECONDS: float = 1800.0
+ANALYTICS_SECONDS: float = 7200.0
+AGGREGATION_SECONDS: float = 1800.0
+
+#: Size of one cell's per-region configuration bundle (disease model JSON,
+#: intervention specs, seeding tables).  Sized so the nightly configuration
+#: volume falls in Table II's 100MB-8.7GB daily range: the 12-cell
+#: prediction design ships ~0.3GB, the 300-cell calibration design ~7.7GB.
+CONFIG_BYTES_PER_CELL: float = 0.5 * MB
+
+
+@dataclass(frozen=True)
+class NightlyReport:
+    """Outcome of one orchestrated night.
+
+    Attributes:
+        design: the executed design.
+        workflow_run: task-level provenance (modelled timeline).
+        schedule: the remote-cluster execution.
+        link: the Globus ledger.
+        window: the access window used.
+    """
+
+    design: ExperimentDesign
+    workflow_run: WorkflowRun
+    schedule: ScheduleResult
+    link: GlobusLink
+    window: AccessWindow
+
+    @property
+    def fits_window(self) -> bool:
+        """Whether the remote makespan fits the nightly window."""
+        return self.schedule.makespan <= self.window.duration_seconds
+
+    @property
+    def remote_hours(self) -> float:
+        """Remote-cluster makespan in hours."""
+        return self.schedule.makespan / 3600.0
+
+    @property
+    def utilization(self) -> float:
+        """Remote utilization of the night."""
+        return self.schedule.utilization
+
+    def summary(self) -> str:
+        """Human-readable night report."""
+        acct = account_workflow(self.design)
+        return "\n".join([
+            f"design: {self.design.name} "
+            f"({acct.n_simulations} simulations)",
+            f"remote makespan: {self.remote_hours:.2f}h "
+            f"(window {self.window.duration_hours:.0f}h, "
+            f"fits: {self.fits_window})",
+            f"utilization: {self.utilization:.3f}",
+            self.link.summary(),
+        ])
+
+
+def orchestrate_night(
+    design: ExperimentDesign,
+    *,
+    cluster: ClusterSpec = BRIDGES,
+    window: AccessWindow = NIGHTLY_WINDOW,
+    algorithm: str = "FFDT-DC",
+    include_onetime_transfer: bool = False,
+    seed: int = 0,
+) -> NightlyReport:
+    """Run one full nightly cycle for ``design``.
+
+    Args:
+        design: the experiment design to execute.
+        cluster: the remote machine.
+        window: the nightly access window.
+        algorithm: mapping algorithm ("FFDT-DC" or "NFDT-DC").
+        include_onetime_transfer: also account the one-time 2TB synthetic
+            data staging of Figure 1.
+        seed: runtime-draw seed.
+    """
+    link = GlobusLink("rivanna", "bridges")
+    acct = account_workflow(design)
+    instance = make_nightly_instance(
+        cells_per_region=design.n_cells,
+        replicates=design.replicates,
+        regions=design.regions,
+        cluster=cluster,
+        seed=seed,
+    )
+    packer = pack_ffdt_dc if algorithm == "FFDT-DC" else pack_nfdt_dc
+    state: dict = {}
+
+    def gen_configs(ctx: dict):
+        size = CONFIG_BYTES_PER_CELL * design.n_cells * design.n_regions
+        return {"configurations": DataArtifact("configurations", HOME, size)}
+
+    def stage_static(ctx: dict):
+        art = DataArtifact("static-networks", HOME, 2 * TB)
+        rec = link.transfer("static-networks", "rivanna", "bridges",
+                            int(art.size_bytes))
+        return {"xfer:static-networks": art.at(REMOTE)}
+
+    def transfer_configs(ctx: dict):
+        art = ctx["artifacts"]["configurations"]
+        link.transfer("configurations", "rivanna", "bridges",
+                      int(art.size_bytes))
+        return {"xfer:configurations": art.at(REMOTE)}
+
+    def start_dbs(ctx: dict):
+        return None
+
+    def simulate(ctx: dict):
+        packed = packer(instance)
+        state["schedule"] = execute_packing(packed, cluster=cluster)
+        return {"raw-output": DataArtifact(
+            "raw-output", REMOTE, acct.raw_bytes)}
+
+    def aggregate(ctx: dict):
+        return {"summary": DataArtifact(
+            "summary-output", REMOTE, acct.summary_bytes)}
+
+    def transfer_back(ctx: dict):
+        art = ctx["artifacts"]["summary"]
+        link.transfer("summary-output", "bridges", "rivanna",
+                      int(art.size_bytes))
+        return {"xfer:summary": art.at(HOME)}
+
+    def analyze(ctx: dict):
+        return None
+
+    # Mean DB start-up across regions (snapshots, one server per region).
+    db_startup = SNAPSHOT_SECONDS_PER_M * 6.0  # ~6M persons per region
+
+    tasks = [
+        WorkflowTask("generate-configurations", HOME, gen_configs,
+                     est_duration=CONFIG_GENERATION_SECONDS),
+        WorkflowTask("transfer-configurations", HOME, transfer_configs,
+                     deps=("generate-configurations",), automated=False,
+                     est_duration=link.duration_of(int(
+                         CONFIG_BYTES_PER_CELL * design.n_cells
+                         * design.n_regions))),
+        WorkflowTask("start-population-databases", REMOTE, start_dbs,
+                     deps=("transfer-configurations",),
+                     est_duration=db_startup),
+        WorkflowTask("run-simulations", REMOTE, simulate,
+                     deps=("start-population-databases",),
+                     est_duration=0.0),  # patched below from the schedule
+        WorkflowTask("aggregate-output", REMOTE, aggregate,
+                     deps=("run-simulations",),
+                     est_duration=AGGREGATION_SECONDS),
+        WorkflowTask("transfer-summaries", REMOTE, transfer_back,
+                     deps=("aggregate-output",), automated=False,
+                     est_duration=link.duration_of(int(acct.summary_bytes))),
+        WorkflowTask("home-analytics", HOME, analyze,
+                     deps=("transfer-summaries",),
+                     est_duration=ANALYTICS_SECONDS),
+    ]
+    if include_onetime_transfer:
+        tasks.insert(0, WorkflowTask(
+            "stage-static-data", HOME, stage_static, automated=False,
+            est_duration=link.duration_of(2 * TB)))
+        for t in tasks:
+            if t.name == "start-population-databases":
+                t.deps = t.deps + ("stage-static-data",)
+
+    # Two-pass execution: first to obtain the schedule, then rebuild the
+    # simulate task with its true duration for an accurate timeline.
+    engine = WorkflowEngine(tasks)
+    run = engine.execute()
+    schedule = state["schedule"]
+    for t in tasks:
+        if t.name == "run-simulations":
+            t.est_duration = schedule.makespan
+    link.records.clear()
+    run = WorkflowEngine(tasks).execute()
+
+    return NightlyReport(
+        design=design,
+        workflow_run=run,
+        schedule=schedule,
+        link=link,
+        window=window,
+    )
+
+
+def weekly_timeline(reports: list[NightlyReport]) -> str:
+    """Render a Figure 2 style multi-day timeline of nightly cycles."""
+    lines = ["day  design        remote(h)  fits  util"]
+    for day, rep in enumerate(reports):
+        lines.append(
+            f"{day:<4d} {rep.design.name:<12} {rep.remote_hours:>8.2f}  "
+            f"{str(rep.fits_window):<5} {rep.utilization:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Process-parallel execution of simulation instances.
+
+The production system's per-night throughput comes from running thousands
+of independent <cell, region, replicate> simulations concurrently.  At
+reproduction scale the same fan-out is available through a process pool:
+instances are embarrassingly parallel, each worker builds (and caches) its
+own region inputs, and only the small aggregated series cross process
+boundaries — the classic scatter/gather layout of the mpi4py guide, with
+``ProcessPoolExecutor`` standing in for MPI ranks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..params import DEFAULT_SCALE, DEFAULT_SEED
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceSpec:
+    """One simulation instance to execute.
+
+    Attributes mirror the cell-configuration fields the runner needs; the
+    spec is small and picklable, which is what lets it cross to workers.
+    """
+
+    region_code: str
+    params: dict[str, Any]
+    n_days: int
+    scale: float
+    seed: int
+    label: str = ""
+    asset_seed: int = DEFAULT_SEED  #: population/network seed (fixed per
+    #: night: instances share inputs, only the simulation stream varies)
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceOutcome:
+    """The gathered result of one instance (small arrays only).
+
+    Attributes:
+        spec: the executed spec.
+        confirmed: cumulative confirmed series, length ``n_days + 1``.
+        attack_rate: fraction ever infected.
+        transitions: raw transition-log length (for accounting).
+    """
+
+    spec: InstanceSpec
+    confirmed: np.ndarray
+    attack_rate: float
+    transitions: int
+
+
+def _execute_one(spec: InstanceSpec) -> InstanceOutcome:
+    """Worker: build/reuse region assets, run, aggregate, return summary.
+
+    Imports happen inside the worker so forked/spawned processes
+    initialise cleanly; the per-process ``load_region_assets`` LRU cache
+    amortises input construction across a worker's instances.
+    """
+    from .runner import confirmed_series, load_region_assets, run_instance
+
+    assets = load_region_assets(spec.region_code, spec.scale,
+                                spec.asset_seed)
+    result, model = run_instance(
+        assets, spec.params, n_days=spec.n_days, seed=spec.seed)
+    return InstanceOutcome(
+        spec=spec,
+        confirmed=confirmed_series(result, model, spec.n_days),
+        attack_rate=result.attack_rate(model),
+        transitions=result.log.size,
+    )
+
+
+def run_instances(
+    specs: list[InstanceSpec],
+    *,
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> list[InstanceOutcome]:
+    """Execute instances, optionally across a process pool.
+
+    Args:
+        specs: the instances (order of results matches the input).
+        max_workers: pool size; defaults to ``os.cpu_count()`` capped at
+            the number of instances.
+        parallel: set False for in-process execution (debugging, or when
+            the workload is too small to amortise pool start-up).
+
+    Returns:
+        One :class:`InstanceOutcome` per spec, in input order.
+    """
+    if not specs:
+        return []
+    if not parallel or len(specs) == 1:
+        return [_execute_one(s) for s in specs]
+    workers = min(max_workers or os.cpu_count() or 1, len(specs))
+    if workers <= 1:
+        return [_execute_one(s) for s in specs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_one, specs, chunksize=1))
+
+
+def specs_for_design(
+    design,
+    *,
+    n_days: int = 120,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> list[InstanceSpec]:
+    """Expand an experiment design into executable instance specs."""
+    out: list[InstanceSpec] = []
+    for i, (cell, region, rep) in enumerate(design.instances()):
+        out.append(InstanceSpec(
+            region_code=region,
+            params=dict(cell.params),
+            n_days=n_days,
+            scale=scale,
+            seed=seed + 17 * i,
+            label=f"{region}-c{cell.index}-r{rep}",
+            asset_seed=seed,
+        ))
+    return out
+
+
+def gather_ensemble(outcomes: list[InstanceOutcome]) -> np.ndarray:
+    """Stack outcomes' confirmed series into an ``(R, T + 1)`` ensemble."""
+    if not outcomes:
+        raise ValueError("no outcomes to gather")
+    return np.vstack([o.confirmed for o in outcomes])

@@ -1,0 +1,149 @@
+"""The prediction workflow (Figure 5, Figure 17, Case study 2/3 handoff).
+
+"To make predictions, we run simulations using the model configurations
+generated from the calibration workflow, and aggregate individual-level
+output to obtain future counts for various forecasting targets ... The
+ensemble of the model configurations and the simulation output provides
+uncertainty quantification on the predictions."
+
+The workflow optionally expands the posterior configurations with what-if
+scenarios (partial reopening levels x contact-tracing compliances, the
+Figure 5 factorial) before simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analytics.aggregate import summarize
+from ..analytics.ensembles import EnsembleBand, ensemble_band
+from ..analytics.targets import ALL_TARGETS, Target, target_series
+from ..params import DEFAULT_SEED
+from .calibration_wf import CalibrationWorkflowResult
+from .runner import confirmed_series, run_instance
+
+
+@dataclass(frozen=True)
+class PredictionWorkflowResult:
+    """Prediction-workflow output.
+
+    Attributes:
+        region_code: region predicted.
+        horizon: forecast ticks simulated.
+        confirmed_ensemble: ``(R, horizon + 1)`` cumulative confirmed curves.
+        confirmed_band: the Figure 17 median + 95% band.
+        target_bands: per forecast target, the ensemble band.
+        history: observed series preceding the forecast (sim scale).
+        what_if: the scenario labels per ensemble member ("as-is" when no
+            expansion was requested).
+    """
+
+    region_code: str
+    horizon: int
+    confirmed_ensemble: np.ndarray
+    confirmed_band: EnsembleBand
+    target_bands: dict[str, EnsembleBand]
+    history: np.ndarray
+    what_if: tuple[str, ...]
+
+    @property
+    def n_members(self) -> int:
+        """Ensemble size."""
+        return int(self.confirmed_ensemble.shape[0])
+
+
+def what_if_expansion(
+    base_params: dict[str, float],
+    *,
+    reopen_levels: tuple[float, ...] = (),
+    tracing_compliances: tuple[float, ...] = (),
+) -> list[tuple[str, dict[str, float]]]:
+    """Expand one configuration with the Figure 5 what-if factorial.
+
+    Returns labelled parameter dicts; with no factors given, the single
+    "as-is" configuration is returned.
+    """
+    if not reopen_levels and not tracing_compliances:
+        return [("as-is", dict(base_params))]
+    out: list[tuple[str, dict[str, float]]] = []
+    levels = reopen_levels or (None,)
+    traces = tracing_compliances or (None,)
+    for ro in levels:
+        for ct in traces:
+            params = dict(base_params)
+            label_parts = []
+            if ro is not None:
+                params["reopen_level"] = ro
+                label_parts.append(f"RO={ro}")
+            if ct is not None:
+                params["tracing_compliance"] = ct
+                label_parts.append(f"CT={ct}")
+            out.append(("+".join(label_parts), params))
+    return out
+
+
+def run_prediction_workflow(
+    calibration: CalibrationWorkflowResult,
+    *,
+    n_configurations: int = 10,
+    replicates: int = 3,
+    horizon: int = 56,
+    reopen_levels: tuple[float, ...] = (),
+    tracing_compliances: tuple[float, ...] = (),
+    targets: tuple[Target, ...] = ALL_TARGETS,
+    seed: int = DEFAULT_SEED,
+) -> PredictionWorkflowResult:
+    """Simulate posterior configurations forward and build forecast bands.
+
+    Args:
+        calibration: output of the calibration workflow.
+        n_configurations: posterior cells to simulate.
+        replicates: replicates per cell.
+        horizon: forecast ticks (Figure 17 shows 8 weeks = 56 days).
+        reopen_levels / tracing_compliances: optional what-if factors.
+        targets: forecast targets to band.
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng((seed, 23))
+    assets = calibration.assets
+    configs = calibration.posterior_configurations(n_configurations, rng)
+
+    curves: list[np.ndarray] = []
+    labels: list[str] = []
+    per_target: dict[str, list[np.ndarray]] = {t.name: [] for t in targets}
+    total_days = calibration.observed.shape[0] - 1 + horizon
+
+    member = 0
+    for params in configs:
+        for label, expanded in what_if_expansion(
+            params,
+            reopen_levels=reopen_levels,
+            tracing_compliances=tracing_compliances,
+        ):
+            for rep in range(replicates):
+                result, model = run_instance(
+                    assets, expanded, n_days=total_days,
+                    seed=seed + 5000 + member)
+                member += 1
+                curves.append(confirmed_series(result, model, total_days))
+                labels.append(label)
+                summary = summarize(result, model)
+                for t in targets:
+                    per_target[t.name].append(
+                        target_series(summary, model, t))
+
+    ensemble = np.vstack(curves)
+    return PredictionWorkflowResult(
+        region_code=calibration.region_code,
+        horizon=horizon,
+        confirmed_ensemble=ensemble,
+        confirmed_band=ensemble_band(ensemble),
+        target_bands={
+            name: ensemble_band(np.vstack(series))
+            for name, series in per_target.items()
+        },
+        history=calibration.observed,
+        what_if=tuple(labels),
+    )

@@ -1,0 +1,133 @@
+"""Shared simulation-instance runner for the workflows.
+
+Translates a design cell's parameters into an EpiHiper configuration — the
+"model configurations specify which populations and contact networks to use,
+as well as the disease parameters, interventions, initializations, and the
+number of days to simulate" (Section III) — and runs it at the configured
+scale.  Region inputs (population, network, surveillance) are cached per
+(region, scale, seed), mirroring the one-time synthetic-data preparation.
+
+Recognised cell parameters (all optional):
+
+- ``TAU`` — disease transmissibility (model transmissibility).
+- ``SYMP`` — symptomatic fraction.
+- ``SH_COMPLIANCE`` / ``sh_compliance`` — stay-at-home compliance.
+- ``VHI_COMPLIANCE`` / ``vhi_compliance`` — voluntary-home-isolation
+  compliance.
+- ``lockdown_days`` — SH duration (end = start + days).
+- ``reopen_level`` — partial reopening level after SH ends.
+- ``tracing_compliance`` — distance-1 contact tracing compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+import numpy as np
+
+from ..analytics.aggregate import state_cumulative_curve
+from ..epihiper.covid import SYMPT, build_covid_model_with_symp_fraction
+from ..epihiper.engine import Simulation, SimulationResult
+from ..epihiper.initialization import initialize_from_surveillance
+from ..epihiper.npi import make_d1ct, make_ro, make_sc, make_sh, make_vhi
+from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from ..surveillance.truth import GroundTruth, generate_region_truth
+from ..synthpop.contacts import ContactNetwork, build_region_network
+from ..synthpop.persons import Population
+
+#: Default intervention timing (simulation days).
+SC_START: int = 15
+SH_START: int = 20
+SH_DEFAULT_DAYS: int = 60
+
+#: Fraction of symptomatic cases that surface as confirmed cases.
+ASCERTAINMENT: float = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class RegionAssets:
+    """Cached per-region inputs: population, network, surveillance."""
+
+    pop: Population
+    net: ContactNetwork
+    truth: GroundTruth
+    scale: float
+
+
+@lru_cache(maxsize=64)
+def load_region_assets(
+    region_code: str,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    truth_days: int = 210,
+) -> RegionAssets:
+    """Build (or reuse) one region's inputs."""
+    pop, net = build_region_network(region_code, scale=scale, seed=seed)
+    truth = generate_region_truth(region_code, n_days=truth_days, seed=seed)
+    return RegionAssets(pop=pop, net=net, truth=truth, scale=scale)
+
+
+def build_interventions(params: dict[str, Any]) -> list:
+    """Intervention stack implied by a cell's parameters."""
+    ivs = [make_sc(start=SC_START)]
+    vhi = params.get("VHI_COMPLIANCE", params.get("vhi_compliance"))
+    if vhi is not None:
+        ivs.append(make_vhi(float(vhi)))
+    sh = params.get("SH_COMPLIANCE", params.get("sh_compliance"))
+    sh_days = int(params.get("lockdown_days", SH_DEFAULT_DAYS))
+    sh_end = SH_START + sh_days
+    if sh is not None:
+        ivs.append(make_sh(float(sh), start=SH_START, end=sh_end))
+    reopen = params.get("reopen_level")
+    if reopen is not None:
+        ivs.append(make_ro(float(reopen), start=sh_end))
+    tracing = params.get("tracing_compliance")
+    if tracing is not None:
+        ivs.append(make_d1ct(compliance=float(tracing)))
+    return ivs
+
+
+def run_instance(
+    assets: RegionAssets,
+    params: dict[str, Any],
+    *,
+    n_days: int,
+    seed: int,
+) -> tuple[SimulationResult, Any]:
+    """Run one (cell, region, replicate) simulation instance.
+
+    Returns the result and the disease model used (needed for analytics).
+    """
+    tau = float(params.get("TAU", 0.18))
+    symp = float(params.get("SYMP", 0.65))
+    model = build_covid_model_with_symp_fraction(tau, symp)
+    sim = Simulation(
+        model, assets.pop, assets.net,
+        seed=seed,
+        interventions=build_interventions(params),
+    )
+    initialize_from_surveillance(sim, assets.truth.latest_by_county())
+    result = sim.run(n_days)
+    return result, model
+
+
+def confirmed_series(
+    result: SimulationResult, model: Any, n_days: int
+) -> np.ndarray:
+    """Cumulative confirmed-case curve of one run (simulation scale).
+
+    Confirmed cases are ascertained symptomatic cases, matching how the
+    calibration compares simulated counts to surveillance.
+    """
+    sympt = state_cumulative_curve(result.log, model.code(SYMPT), n_days)
+    return sympt * ASCERTAINMENT
+
+
+def observed_series(truth: GroundTruth, scale: float, n_days: int) -> np.ndarray:
+    """Ground truth rescaled to simulation scale over ``n_days + 1`` points."""
+    cum = truth.state_cumulative()
+    if cum.shape[0] < n_days + 1:
+        raise ValueError("truth series shorter than requested horizon")
+    return cum[: n_days + 1] * scale

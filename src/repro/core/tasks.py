@@ -1,0 +1,93 @@
+"""Workflow task-graph primitives.
+
+The paper's workflows are "a complex series of data ingestion, simulation
+and analytics steps" split across two sites.  A :class:`WorkflowTask` names
+one step, the site it runs on, its dependencies, and an action; executing a
+task may produce :class:`DataArtifact` objects whose sizes drive the
+transfer accounting of Figure 1 / Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..params import fmt_bytes
+
+#: The two execution sites.
+HOME = "home"
+REMOTE = "remote"
+SITES = (HOME, REMOTE)
+
+
+@dataclass(frozen=True, slots=True)
+class DataArtifact:
+    """A named data product of a workflow step.
+
+    Attributes:
+        name: artifact label ("summary-output").
+        site: where it currently resides.
+        size_bytes: paper-scale size for transfer accounting.
+        payload: optional in-memory object carrying the real (scaled) data.
+    """
+
+    name: str
+    site: str
+    size_bytes: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown site {self.site!r}")
+        if self.size_bytes < 0:
+            raise ValueError("size must be non-negative")
+
+    def at(self, site: str) -> "DataArtifact":
+        """The same artifact after a transfer to ``site``."""
+        return DataArtifact(self.name, site, self.size_bytes, self.payload)
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.site}({fmt_bytes(self.size_bytes)})"
+
+
+@dataclass
+class WorkflowTask:
+    """One executable workflow step.
+
+    Attributes:
+        name: unique step name.
+        site: execution site (HOME or REMOTE).
+        action: callable ``(context) -> dict[str, DataArtifact] | None``;
+            the context is the shared mutable workflow state.
+        deps: names of steps that must complete first.
+        automated: False for steps needing human initiation (the manual
+            Globus transfers and review steps of Figure 2).
+        est_duration: modelled wall-clock seconds for the timeline.
+    """
+
+    name: str
+    site: str
+    action: Callable[[dict], dict[str, DataArtifact] | None]
+    deps: tuple[str, ...] = ()
+    automated: bool = True
+    est_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown site {self.site!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRun:
+    """Provenance record of one executed step."""
+
+    task_name: str
+    site: str
+    started: float
+    finished: float
+    produced: tuple[str, ...] = field(default=())
+
+    @property
+    def duration(self) -> float:
+        """Modelled duration."""
+        return self.finished - self.started

@@ -1,0 +1,188 @@
+"""The COVID-19 disease model of Figure 12 and Tables III / IV.
+
+State machine (Figure 12)::
+
+    Susceptible --contact--> Exposed
+    Exposed -> Asymptomatic -> Recovered
+    Exposed -> Presymptomatic -> Symptomatic
+    Symptomatic -> Attended            -> Recovered          (mild)
+    Symptomatic -> Attended(H) -> Hospitalized -> {Recovered, Ventilated}
+                                  Ventilated -> Recovered
+    Symptomatic -> Attended(D) -> Hospitalized(D) -> Ventilated(D) -> Death
+                   (with early deaths from Attended(D) and Hospitalized(D))
+    RX_Failure behaves like Susceptible (Table IV lists its susceptibility).
+
+Age-stratified branching probabilities are taken verbatim from the legible
+rows of Table III (each row sums to exactly 1 across the three Symptomatic
+branches, which confirms the reading):
+
+==================  ======  ======  ======  ======  =====
+transition          0-4     5-17    18-49   50-64   65+
+==================  ======  ======  ======  ======  =====
+Sympt -> Attd       0.9594  0.9894  0.9594  0.912   0.788
+Sympt -> Attd(D)    0.0006  0.0006  0.0006  0.003   0.017
+Sympt -> Attd(H)    0.04    0.01    0.04    0.085   0.195
+Hosp -> Recovered   0.94    0.94    0.94    0.85    0.775
+Hosp -> Vent        0.06    0.06    0.06    0.15    0.225
+==================  ======  ======  ======  ======  =====
+
+Dwell times whose rows are garbled in the preprint scan are reconstructed
+from the CDC COVID-19 planning-scenario document the table cites [8]
+(incubation about 5 days, about 1 day presymptomatic infectious, mild course
+about a week); the reconstruction is noted per transition below.
+
+Transmission parameters are Table IV verbatim: global transmissibility 0.18;
+infectivity 0.8 (Presymptomatic), 1.0 (Symptomatic), 1.0 (Asymptomatic);
+susceptibility 1.0 (Susceptible and RX_Failure).
+"""
+
+from __future__ import annotations
+
+from .disease import DiseaseModel, Progression, Transmission, uniform
+from .states import DiscreteDwell, FixedDwell, HealthState, NormalDwell
+
+# Canonical state names used throughout the package.
+SUSCEPTIBLE = "Susceptible"
+EXPOSED = "Exposed"
+ASYMPT = "Asymptomatic"
+PRESYMPT = "Presymptomatic"
+SYMPT = "Symptomatic"
+ATTD = "Attended"
+ATTD_H = "Attended_H"
+ATTD_D = "Attended_D"
+HOSP = "Hospitalized"
+HOSP_D = "Hospitalized_D"
+VENT = "Ventilated"
+VENT_D = "Ventilated_D"
+RECOVERED = "Recovered"
+DEATH = "Death"
+RX_FAILURE = "RX_Failure"
+
+#: Table IV values.
+TRANSMISSIBILITY = 0.18
+INFECTIVITY = {PRESYMPT: 0.8, SYMPT: 1.0, ASYMPT: 1.0}
+SUSCEPTIBILITY = {SUSCEPTIBLE: 1.0, RX_FAILURE: 1.0}
+
+#: Table III dt-discrete distribution for Symptomatic -> Attended.
+_SYMPT_ATTD_DWELL = DiscreteDwell(
+    days=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    probs=(0.175, 0.175, 0.1, 0.1, 0.1, 0.1, 0.1, 0.05, 0.05, 0.05),
+)
+
+
+def covid_states() -> list[HealthState]:
+    """The 15 health states of the Figure 12 model."""
+    return [
+        HealthState(SUSCEPTIBLE, susceptibility=SUSCEPTIBILITY[SUSCEPTIBLE]),
+        HealthState(EXPOSED),
+        HealthState(ASYMPT, infectivity=INFECTIVITY[ASYMPT]),
+        HealthState(PRESYMPT, infectivity=INFECTIVITY[PRESYMPT]),
+        HealthState(SYMPT, infectivity=INFECTIVITY[SYMPT], symptomatic=True),
+        HealthState(ATTD, symptomatic=True),
+        HealthState(ATTD_H, symptomatic=True),
+        HealthState(ATTD_D, symptomatic=True),
+        HealthState(HOSP, symptomatic=True, hospitalized=True),
+        HealthState(HOSP_D, symptomatic=True, hospitalized=True),
+        HealthState(VENT, symptomatic=True, hospitalized=True, ventilated=True),
+        HealthState(VENT_D, symptomatic=True, hospitalized=True,
+                    ventilated=True),
+        HealthState(RECOVERED),
+        HealthState(DEATH, deceased=True),
+        HealthState(RX_FAILURE, susceptibility=SUSCEPTIBILITY[RX_FAILURE]),
+    ]
+
+
+def covid_progressions() -> list[Progression]:
+    """Table III progression edges (see module docstring for provenance)."""
+    return [
+        # Incubation: Exposed splits 0.35 asymptomatic / 0.65 presymptomatic
+        # (Table III), dwell N(5, 1).
+        Progression(EXPOSED, ASYMPT, uniform(0.35), NormalDwell(5, 1)),
+        Progression(EXPOSED, PRESYMPT, uniform(0.65), NormalDwell(5, 1)),
+        # Asymptomatic course resolves in about 5 days.
+        Progression(ASYMPT, RECOVERED, uniform(1.0), NormalDwell(5, 1)),
+        # About 1 day of presymptomatic infectiousness (Table III dt-fixed 1).
+        Progression(PRESYMPT, SYMPT, uniform(1.0), FixedDwell(1)),
+        # Symptomatic branch: legible age-stratified Table III rows.
+        Progression(SYMPT, ATTD,
+                    (0.9594, 0.9894, 0.9594, 0.912, 0.788),
+                    _SYMPT_ATTD_DWELL),
+        Progression(SYMPT, ATTD_D,
+                    (0.0006, 0.0006, 0.0006, 0.003, 0.017), FixedDwell(2)),
+        Progression(SYMPT, ATTD_H,
+                    (0.04, 0.01, 0.04, 0.085, 0.195), FixedDwell(2)),
+        # Mild attended course recovers in about 5 days.
+        Progression(ATTD, RECOVERED, uniform(1.0), NormalDwell(5, 1)),
+        # Hospitalization-bound course (reconstructed dwells: about 3 days
+        # from attendance to admission, week-scale stays, longer for old).
+        Progression(ATTD_H, HOSP, uniform(1.0), NormalDwell(3, 1)),
+        Progression(HOSP, RECOVERED,
+                    (0.94, 0.94, 0.94, 0.85, 0.775),
+                    NormalDwell(5.3, 3.1)),
+        Progression(HOSP, VENT,
+                    (0.06, 0.06, 0.06, 0.15, 0.225), NormalDwell(3.1, 2.0)),
+        Progression(VENT, RECOVERED, uniform(1.0), NormalDwell(5.5, 3.7)),
+        # Death-bound course (Table III: Attd(D)->Hosp(D) 0.95 dt 2;
+        # Attd(D)->Death 0.05 dt 8; early and ventilated deaths).
+        Progression(ATTD_D, HOSP_D, uniform(0.95), FixedDwell(2)),
+        Progression(ATTD_D, DEATH, uniform(0.05), FixedDwell(8)),
+        Progression(HOSP_D, VENT_D, uniform(0.85), FixedDwell(2)),
+        Progression(HOSP_D, DEATH, uniform(0.15), FixedDwell(6)),
+        Progression(VENT_D, DEATH, uniform(1.0), FixedDwell(4)),
+    ]
+
+
+def covid_transmissions() -> list[Transmission]:
+    """Transmission rules: any infectious state exposes both susceptible
+    states (Susceptible and RX_Failure) with relative rate 1."""
+    rules = []
+    for sus in (SUSCEPTIBLE, RX_FAILURE):
+        for inf in (PRESYMPT, SYMPT, ASYMPT):
+            rules.append(Transmission(sus, inf, EXPOSED, omega=1.0))
+    return rules
+
+
+def build_covid_model(transmissibility: float = TRANSMISSIBILITY) -> DiseaseModel:
+    """Construct the COVID-19 PTTS.
+
+    Args:
+        transmissibility: the global scaling of Eq. 1 (Table IV default
+            0.18).  Calibration workflows vary this parameter (TAU in
+            Figure 15).
+    """
+    return DiseaseModel(
+        name="covid19",
+        states=covid_states(),
+        progressions=covid_progressions(),
+        transmissions=covid_transmissions(),
+        transmissibility=transmissibility,
+    )
+
+
+def build_covid_model_with_symp_fraction(
+    transmissibility: float, symptomatic_fraction: float
+) -> DiseaseModel:
+    """COVID model with a variable symptomatic fraction.
+
+    Case study 3 calibrates two parameters: transmissibility (TAU) and the
+    symptomatic/asymptomatic split (SYMP, Figure 15).  This variant replaces
+    the fixed 0.65 presymptomatic branch with ``symptomatic_fraction``.
+    """
+    if not 0.0 <= symptomatic_fraction <= 1.0:
+        raise ValueError("symptomatic_fraction must be in [0, 1]")
+    progressions = []
+    for p in covid_progressions():
+        if p.src == EXPOSED and p.dst == ASYMPT:
+            p = Progression(EXPOSED, ASYMPT,
+                            uniform(1.0 - symptomatic_fraction), p.dwell)
+        elif p.src == EXPOSED and p.dst == PRESYMPT:
+            p = Progression(EXPOSED, PRESYMPT,
+                            uniform(symptomatic_fraction), p.dwell)
+        progressions.append(p)
+    return DiseaseModel(
+        name="covid19-symp",
+        states=covid_states(),
+        progressions=progressions,
+        transmissions=covid_transmissions(),
+        transmissibility=transmissibility,
+    )

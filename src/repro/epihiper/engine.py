@@ -1,0 +1,246 @@
+"""The EpiHiper discrete-time simulation engine (Appendix D).
+
+One :class:`Simulation` couples a disease model (PTTS), a synthetic
+population, and a contact network, and advances them tick by tick (one tick
+= one day, Section III).  Each tick: interventions are evaluated, active
+contacts are tested for transmission (Eq. 1), and scheduled progressions
+fire.  The engine keeps the per-person state in flat numpy arrays so every
+step is vectorised, and tracks the work and memory counters that feed the
+cluster cost model (Figures 7 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import DEFAULT_SEED
+from ..synthpop.activities import HOME
+from ..synthpop.contacts import ContactNetwork
+from ..synthpop.persons import Population
+from .disease import DiseaseModel
+from .interventions import EdgeSuppressor, IncidentEdges, Intervention
+from .output import TransitionLog, TransitionRecorder
+from .progression import ProgressionState, progression_step, schedule_entries
+from .transmission import transmission_step
+
+#: Bytes per in-memory edge record (ids, timing, contexts, weight, flags);
+#: drives the Figure 10 memory model.
+EDGE_BYTES: int = 40
+NODE_BYTES: int = 24
+SCHEDULED_CHANGE_BYTES: int = 24
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    Attributes:
+        region_code: region the run covered.
+        n_days: ticks simulated.
+        log: the per-transition output (EpiHiper's raw output file).
+        state_counts: ``(n_days + 1, n_states)`` census per tick; row 0 is
+            the post-initialization census.
+        memory_series: per-tick estimated resident bytes (Figure 10).
+        counters: work counters for the cost model.
+    """
+
+    region_code: str
+    n_days: int
+    log: TransitionLog
+    state_counts: np.ndarray
+    memory_series: np.ndarray
+    counters: dict[str, int]
+
+    def attack_rate(self, model: DiseaseModel) -> float:
+        """Fraction of the population ever infected."""
+        n = int(self.state_counts[0].sum())
+        sus = self.state_counts[-1][model.is_susceptible].sum()
+        return float(1.0 - sus / n)
+
+    def peak_day(self, model: DiseaseModel) -> int:
+        """Tick with the largest infectious census."""
+        infectious = self.state_counts[:, model.is_infectious].sum(axis=1)
+        return int(np.argmax(infectious))
+
+
+class Simulation:
+    """A single EpiHiper run over one region's population and network."""
+
+    def __init__(
+        self,
+        model: DiseaseModel,
+        pop: Population,
+        net: ContactNetwork,
+        *,
+        seed: int = DEFAULT_SEED,
+        interventions: list[Intervention] | None = None,
+    ) -> None:
+        if net.n_nodes != pop.size:
+            raise ValueError("network and population sizes disagree")
+        self.model = model
+        self.pop = pop
+        self.net = net
+        self.rng = np.random.default_rng(seed)
+        self.interventions = list(interventions or [])
+
+        n = pop.size
+        # Everybody starts in the first susceptible state.
+        sus_codes = np.flatnonzero(model.is_susceptible)
+        if sus_codes.size == 0:
+            raise ValueError("model has no susceptible state")
+        self.initial_code = int(sus_codes[0])
+        self.health = np.full(n, self.initial_code, dtype=np.int8)
+        self.sched = ProgressionState.empty(n)
+
+        # rw node scaling traits of Table V.
+        self.node_susceptibility = np.ones(n, dtype=np.float64)
+        self.node_infectivity = np.ones(n, dtype=np.float64)
+        #: user-defined node/edge traits (Table V nodeTrait / edgeTrait).
+        self.node_traits: dict[str, np.ndarray] = {}
+        self.edge_traits: dict[str, np.ndarray] = {}
+        #: user-defined named variables (Table V ``variable``).
+        self.variables: dict[str, float] = {}
+
+        self.base_active = net.active.copy()
+        self.edge_weight = net.weight.astype(np.float64).copy()
+        self.suppressor = EdgeSuppressor(net.n_edges)
+        self._incident: IncidentEdges | None = None
+
+        self.tick = 0
+        self.recorder = TransitionRecorder()
+        self._counts_history: list[np.ndarray] = []
+        self._memory_history: list[int] = []
+        self.counters: dict[str, int] = {
+            "contacts_evaluated": 0,
+            "transitions": 0,
+            "transmissions": 0,
+            "interventions_fired": 0,
+            "intervention_edge_ops": 0,
+        }
+
+    # -- derived structures ----------------------------------------------------
+
+    @property
+    def incident(self) -> IncidentEdges:
+        """Lazily built person -> incident-edge CSR (contact tracing)."""
+        if self._incident is None:
+            self._incident = IncidentEdges(
+                self.net.source, self.net.target, self.pop.size)
+        return self._incident
+
+    def active_edges(self) -> np.ndarray:
+        """Effective per-edge activity mask this tick."""
+        return self.suppressor.active_mask(self.base_active)
+
+    def home_edge_mask(self) -> np.ndarray:
+        """Edges whose both contexts are *home* (kept by isolations)."""
+        return ((self.net.source_activity == HOME)
+                & (self.net.target_activity == HOME))
+
+    def current_state_counts(self) -> np.ndarray:
+        """Census over states right now."""
+        return np.bincount(self.health, minlength=self.model.n_states)
+
+    def ever_infected(self) -> np.ndarray:
+        """Boolean mask of persons no longer in their initial state."""
+        return self.health != self.initial_code
+
+    # -- state changes -----------------------------------------------------------
+
+    def enter_state(
+        self,
+        pids: np.ndarray,
+        codes: np.ndarray,
+        infectors: np.ndarray | None = None,
+    ) -> None:
+        """Move ``pids`` into ``codes`` now: record, then schedule next hop."""
+        pids = np.asarray(pids, dtype=np.int64)
+        if pids.size == 0:
+            return
+        codes = np.asarray(codes, dtype=np.int8)
+        self.health[pids] = codes
+        self.recorder.record(self.tick, pids, codes, infectors)
+        self.counters["transitions"] += int(pids.size)
+        schedule_entries(
+            self.model, self.sched, pids, codes, self.pop.age_group, self.rng)
+
+    def seed_infections(self, pids: np.ndarray, state: str = "Exposed") -> None:
+        """Initialization: move ``pids`` into ``state`` with no infector.
+
+        Appendix D: "Initialization is a special case of an intervention
+        where the trigger is omitted"; seeds become dendogram roots.
+        """
+        pids = np.asarray(pids, dtype=np.int64)
+        code = self.model.code(state)
+        self.enter_state(pids, np.full(pids.size, code, dtype=np.int8))
+
+    # -- main loop ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one tick (interventions, transmission, progression)."""
+        ops_before = self.suppressor.total_operations
+        for iv in self.interventions:
+            if iv.maybe_apply(self):
+                self.counters["interventions_fired"] += 1
+        self.counters["intervention_edge_ops"] += (
+            self.suppressor.total_operations - ops_before)
+
+        active = self.active_edges()
+        events = transmission_step(
+            self.model, self.health,
+            self.node_susceptibility, self.node_infectivity,
+            self.net.source, self.net.target, active,
+            self.edge_weight, self.net.duration.astype(np.float64),
+            self.rng,
+        )
+        self.counters["contacts_evaluated"] += events.n_candidates
+        if events.pids.size:
+            self.counters["transmissions"] += int(events.pids.size)
+            self.enter_state(events.pids, events.exposed_codes,
+                             events.infectors)
+
+        pids, codes = progression_step(self.sched)
+        if pids.size:
+            self.enter_state(pids, codes)
+
+        self.tick += 1
+        self._counts_history.append(self.current_state_counts())
+        self._memory_history.append(self._memory_estimate())
+
+    def _memory_estimate(self) -> int:
+        """Resident-byte estimate for the Figure 10 memory model.
+
+        Base cost tracks the partitioned network held in memory; dynamic
+        cost grows with scheduled system-state changes (suppressed edges,
+        pending progressions, accumulated output) — the paper observes that
+        higher intervention compliance means more scheduled changes and
+        hence more memory.
+        """
+        base = self.net.n_edges * EDGE_BYTES + self.pop.size * NODE_BYTES
+        dynamic = (
+            int((self.suppressor.count > 0).sum()) * SCHEDULED_CHANGE_BYTES
+            + int((self.sched.dwell > 0).sum()) * SCHEDULED_CHANGE_BYTES
+            + self.counters["transitions"] * 16
+            + self.suppressor.total_operations * 8
+        )
+        return base + dynamic
+
+    def run(self, n_days: int) -> SimulationResult:
+        """Run ``n_days`` ticks and assemble the result."""
+        if n_days < 0:
+            raise ValueError("n_days must be non-negative")
+        if not self._counts_history:
+            self._counts_history.append(self.current_state_counts())
+            self._memory_history.append(self._memory_estimate())
+        for _ in range(n_days):
+            self.step()
+        return SimulationResult(
+            region_code=self.net.region_code,
+            n_days=self.tick,
+            log=self.recorder.finalize(),
+            state_counts=np.vstack(self._counts_history),
+            memory_series=np.asarray(self._memory_history, dtype=np.int64),
+            counters=dict(self.counters),
+        )

@@ -1,0 +1,181 @@
+"""Intervention framework: triggers, action ensembles, and traits.
+
+Appendix D: "An intervention comprises of a trigger and an action ensemble.
+The action ensemble is only applied if the trigger evaluates to true."  The
+trigger is a function of the system state (Table V); actions operate on a
+target set of nodes or edges, optionally on a sampled subset, and may be
+delayed.
+
+Edge deactivation is implemented with a *suppression counter* per edge so
+that overlapping interventions compose: an edge is active iff its base flag
+is set and no intervention currently suppresses it.  Every suppression is
+paired with a release, which lets timed isolations expire cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulation
+
+#: A trigger: reads the simulation state, returns whether to fire this tick.
+Trigger = Callable[["Simulation"], bool]
+
+#: An action: mutates the simulation state (through the public ops below).
+Action = Callable[["Simulation"], None]
+
+
+@dataclass
+class Intervention:
+    """A named (trigger, action ensemble) pair evaluated every tick.
+
+    Attributes:
+        name: label used in run summaries and the cost model.
+        trigger: predicate on the simulation state.
+        action: applied whenever the trigger is true (and, if ``once``,
+            not yet fired).
+        once: fire at most one time.
+    """
+
+    name: str
+    trigger: Trigger
+    action: Action
+    once: bool = False
+    fired: int = field(default=0, init=False)
+
+    def maybe_apply(self, sim: "Simulation") -> bool:
+        """Evaluate the trigger; apply the action if it fires."""
+        if self.once and self.fired:
+            return False
+        if not self.trigger(sim):
+            return False
+        self.action(sim)
+        self.fired += 1
+        return True
+
+
+def at_tick(day: int) -> Trigger:
+    """Trigger that fires exactly on tick ``day``."""
+    return lambda sim: sim.tick == day
+
+
+def between_ticks(start: int, end: int) -> Trigger:
+    """Trigger active on every tick in ``[start, end)``."""
+    return lambda sim: start <= sim.tick < end
+
+
+def from_tick(day: int) -> Trigger:
+    """Trigger active from ``day`` onward."""
+    return lambda sim: sim.tick >= day
+
+
+def when_variable_at_least(name: str, threshold: float) -> Trigger:
+    """Trigger on a user-defined simulation variable (Table V ``variable``)."""
+    return lambda sim: sim.variables.get(name, 0.0) >= threshold
+
+
+def when_symptomatic_count_at_least(threshold: int) -> Trigger:
+    """Trigger once the current symptomatic census reaches ``threshold``."""
+    def trig(sim: "Simulation") -> bool:
+        counts = sim.current_state_counts()
+        return int(counts[sim.model.is_symptomatic].sum()) >= threshold
+    return trig
+
+
+# --- action-ensemble building blocks ----------------------------------------
+
+
+def sample_subset(
+    ids: np.ndarray, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample each element independently with probability ``fraction``.
+
+    This is the "sampled subset" operation of the paper's action ensembles
+    (compliance draws).  ``fraction`` outside [0, 1] raises.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if fraction >= 1.0:
+        return ids
+    if fraction <= 0.0 or ids.size == 0:
+        return ids[:0]
+    return ids[rng.random(ids.size) < fraction]
+
+
+@dataclass(slots=True)
+class SuppressionHandle:
+    """A release token for a set of suppressed edges."""
+
+    edge_rows: np.ndarray
+    released: bool = False
+
+
+class EdgeSuppressor:
+    """Reference-counted edge deactivation shared by all interventions."""
+
+    def __init__(self, n_edges: int) -> None:
+        self.count = np.zeros(n_edges, dtype=np.int16)
+        self.total_operations = 0  #: edges touched, for the cost model
+
+    def suppress(self, edge_rows: np.ndarray) -> SuppressionHandle:
+        """Deactivate ``edge_rows`` (idempotent per handle, composable)."""
+        np.add.at(self.count, edge_rows, 1)
+        self.total_operations += int(edge_rows.size)
+        return SuppressionHandle(np.asarray(edge_rows))
+
+    def release(self, handle: SuppressionHandle) -> None:
+        """Undo one suppression; edges with zero remaining count reactivate."""
+        if handle.released:
+            return
+        np.add.at(self.count, handle.edge_rows, -1)
+        self.total_operations += int(handle.edge_rows.size)
+        handle.released = True
+        if (self.count < 0).any():
+            raise RuntimeError("suppression count went negative")
+
+    def active_mask(self, base_active: np.ndarray) -> np.ndarray:
+        """Effective edge activity: base flag and no live suppression."""
+        return base_active & (self.count == 0)
+
+
+class IncidentEdges:
+    """CSR-style person -> incident-edge-row index, built once per network.
+
+    Contact tracing (D1CT / D2CT) and per-person isolation need the edges
+    touching a person; a precomputed CSR makes those operations O(degree).
+    """
+
+    def __init__(self, source: np.ndarray, target: np.ndarray, n_nodes: int) -> None:
+        endpoints = np.concatenate([source, target])
+        rows = np.concatenate([
+            np.arange(source.shape[0], dtype=np.int64),
+            np.arange(target.shape[0], dtype=np.int64),
+        ])
+        order = np.argsort(endpoints, kind="stable")
+        self._rows = rows[order]
+        counts = np.bincount(endpoints, minlength=n_nodes)
+        self._offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._others = np.concatenate([target, source])[order]
+
+    def edges_of(self, pids: np.ndarray) -> np.ndarray:
+        """Unique edge rows incident to any of ``pids``."""
+        if pids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = [self._rows[self._offsets[p]:self._offsets[p + 1]]
+                 for p in np.asarray(pids).ravel()]
+        return np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+
+    def neighbors_of(self, pids: np.ndarray) -> np.ndarray:
+        """Unique neighbour ids of any of ``pids`` (excluding ``pids``)."""
+        if pids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = [self._others[self._offsets[p]:self._offsets[p + 1]]
+                 for p in np.asarray(pids).ravel()]
+        if not parts:
+            return np.empty(0, np.int64)
+        out = np.unique(np.concatenate(parts))
+        return np.setdiff1d(out, pids, assume_unique=False)

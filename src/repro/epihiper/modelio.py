@@ -1,0 +1,142 @@
+"""JSON serialisation of disease models (Appendix D).
+
+"All inputs to EpiHiper are given in JSON format, with the exception of the
+contact network."  This module round-trips :class:`DiseaseModel` objects
+through a JSON schema shaped like EpiHiper's disease-model files: a state
+list with infectivity/susceptibility annotations, progression edges with
+age-stratified probabilities and dwell-time distributions, and transmission
+rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .disease import DiseaseModel, Progression, Transmission
+from .states import (
+    DiscreteDwell,
+    DwellTime,
+    FixedDwell,
+    HealthState,
+    NormalDwell,
+)
+
+SCHEMA_VERSION = 1
+
+
+def _dwell_to_json(dwell: DwellTime) -> dict[str, Any]:
+    if isinstance(dwell, FixedDwell):
+        return {"kind": "fixed", "days": dwell.days}
+    if isinstance(dwell, NormalDwell):
+        return {"kind": "normal", "mean": dwell.mu, "sd": dwell.sd}
+    if isinstance(dwell, DiscreteDwell):
+        return {"kind": "discrete", "days": list(dwell.days),
+                "probs": list(dwell.probs)}
+    raise TypeError(f"unknown dwell type {type(dwell).__name__}")
+
+
+def _dwell_from_json(data: dict[str, Any]) -> DwellTime:
+    kind = data.get("kind")
+    if kind == "fixed":
+        return FixedDwell(int(data["days"]))
+    if kind == "normal":
+        return NormalDwell(float(data["mean"]), float(data["sd"]))
+    if kind == "discrete":
+        return DiscreteDwell(tuple(int(d) for d in data["days"]),
+                             tuple(float(p) for p in data["probs"]))
+    raise ValueError(f"unknown dwell kind {kind!r}")
+
+
+def model_to_dict(model: DiseaseModel) -> dict[str, Any]:
+    """Serialise a disease model to a JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": model.name,
+        "transmissibility": model.transmissibility,
+        "states": [
+            {
+                "name": s.name,
+                "infectivity": s.infectivity,
+                "susceptibility": s.susceptibility,
+                "symptomatic": s.symptomatic,
+                "hospitalized": s.hospitalized,
+                "ventilated": s.ventilated,
+                "deceased": s.deceased,
+            }
+            for s in model.states
+        ],
+        "progressions": [
+            {
+                "from": p.src,
+                "to": p.dst,
+                "probability": list(p.prob),
+                "dwell": _dwell_to_json(p.dwell),
+            }
+            for p in model.progressions
+        ],
+        "transmissions": [
+            {
+                "susceptible": t.susceptible,
+                "infectious": t.infectious,
+                "exposed": t.exposed,
+                "omega": t.omega,
+            }
+            for t in model.transmissions
+        ],
+    }
+
+
+def model_from_dict(data: dict[str, Any]) -> DiseaseModel:
+    """Deserialise a disease model (validates like the constructor)."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {data.get('schema')!r}")
+    states = [
+        HealthState(
+            name=s["name"],
+            infectivity=float(s.get("infectivity", 0.0)),
+            susceptibility=float(s.get("susceptibility", 0.0)),
+            symptomatic=bool(s.get("symptomatic", False)),
+            hospitalized=bool(s.get("hospitalized", False)),
+            ventilated=bool(s.get("ventilated", False)),
+            deceased=bool(s.get("deceased", False)),
+        )
+        for s in data["states"]
+    ]
+    progressions = [
+        Progression(
+            src=p["from"],
+            dst=p["to"],
+            prob=tuple(float(v) for v in p["probability"]),
+            dwell=_dwell_from_json(p["dwell"]),
+        )
+        for p in data["progressions"]
+    ]
+    transmissions = [
+        Transmission(
+            susceptible=t["susceptible"],
+            infectious=t["infectious"],
+            exposed=t["exposed"],
+            omega=float(t.get("omega", 1.0)),
+        )
+        for t in data["transmissions"]
+    ]
+    return DiseaseModel(
+        name=data["name"],
+        states=states,
+        progressions=progressions,
+        transmissions=transmissions,
+        transmissibility=float(data.get("transmissibility", 1.0)),
+    )
+
+
+def write_model_json(model: DiseaseModel, path: str | Path) -> None:
+    """Write a disease model to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=2))
+
+
+def read_model_json(path: str | Path) -> DiseaseModel:
+    """Read a disease model from a JSON file."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,91 @@
+"""Within-host disease progression (the timed part of the PTTS).
+
+When a person enters a non-terminal state, the next transition is drawn from
+the state's outgoing edges — with probabilities stratified by the person's
+age group (Table III) — and a dwell time is sampled from the chosen edge's
+distribution.  The scheduled transition fires that many ticks later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .disease import DiseaseModel
+
+
+@dataclass(slots=True)
+class ProgressionState:
+    """Per-person scheduling arrays for pending progressions."""
+
+    dwell: np.ndarray  #: int32 ticks remaining; 0 = nothing scheduled
+    next_state: np.ndarray  #: int8 scheduled destination; -1 = none
+
+    @classmethod
+    def empty(cls, n: int) -> "ProgressionState":
+        return cls(
+            dwell=np.zeros(n, dtype=np.int32),
+            next_state=np.full(n, -1, dtype=np.int8),
+        )
+
+
+def schedule_entries(
+    model: DiseaseModel,
+    sched: ProgressionState,
+    pids: np.ndarray,
+    codes: np.ndarray,
+    age_group: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    """Sample and schedule the next transition for persons entering states.
+
+    Args:
+        model: the disease model (outgoing edges per state).
+        sched: the scheduling arrays, updated in place.
+        pids: persons entering a new state this tick.
+        codes: the state codes entered (parallel to ``pids``).
+        age_group: the full population age-group column.
+    """
+    if pids.size == 0:
+        return
+    # Terminal entries: clear any schedule.
+    for code in np.unique(codes):
+        sel = codes == code
+        persons = pids[sel]
+        out = model.out_edges.get(int(code))
+        if out is None:
+            sched.dwell[persons] = 0
+            sched.next_state[persons] = -1
+            continue
+        dsts, probs, dwells = out
+        # probs is (n_out, n_age); pick the column for each person's age
+        # group, then sample an outgoing edge per person.
+        p = probs[:, age_group[persons]]  # (n_out, n_persons)
+        cum = np.cumsum(p, axis=0)
+        u = rng.random(persons.shape[0]) * cum[-1]
+        choice = (u[None, :] >= cum).sum(axis=0)  # index of chosen edge
+        sched.next_state[persons] = dsts[choice]
+        for k in range(dsts.shape[0]):
+            grp = persons[choice == k]
+            if grp.size:
+                sched.dwell[grp] = dwells[k].sample(grp.size, rng)
+
+
+def progression_step(
+    sched: ProgressionState,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance one tick; return (pids, codes) of transitions firing now.
+
+    Decrements every pending dwell counter in place and returns the persons
+    whose counters reached zero together with their scheduled destinations.
+    The caller must re-enter those persons (recording the transition and
+    scheduling their next hop).
+    """
+    pending = sched.dwell > 0
+    sched.dwell[pending] -= 1
+    fire = pending & (sched.dwell == 0) & (sched.next_state >= 0)
+    pids = np.flatnonzero(fire)
+    codes = sched.next_state[pids].copy()
+    sched.next_state[pids] = -1
+    return pids, codes

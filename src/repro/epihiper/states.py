@@ -1,0 +1,138 @@
+"""Health states and dwell-time distributions for PTTS disease models.
+
+EpiHiper represents a disease as a *probabilistic timed transition system*
+(PTTS, Figure 12): nodes are health states, directed edges carry a transition
+probability and a dwell-time distribution, transmissions move susceptible
+persons into an exposed state, and progressions move infected persons through
+the state machine independently of their contacts (Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class HealthState:
+    """One node of the disease-state machine.
+
+    Attributes:
+        name: unique state label ("Symptomatic").
+        infectivity: scaling factor iota applied when this person is the
+            infectious side of a contact (Table IV); 0 for non-infectious
+            states.
+        susceptibility: scaling factor sigma applied when this person is the
+            susceptible side (Table IV); 0 for non-susceptible states.
+        symptomatic: counted in "symptomatic cases" summaries.
+        hospitalized: occupies a hospital bed (for resource targets).
+        ventilated: occupies a ventilator.
+        deceased: terminal death state.
+    """
+
+    name: str
+    infectivity: float = 0.0
+    susceptibility: float = 0.0
+    symptomatic: bool = False
+    hospitalized: bool = False
+    ventilated: bool = False
+    deceased: bool = False
+
+    @property
+    def infectious(self) -> bool:
+        """Whether this state can transmit."""
+        return self.infectivity > 0.0
+
+    @property
+    def susceptible(self) -> bool:
+        """Whether this state can be infected."""
+        return self.susceptibility > 0.0
+
+
+class DwellTime:
+    """A dwell-time distribution attached to a PTTS transition.
+
+    The paper's Table III uses three families: fixed times, truncated normal
+    times, and discrete distributions over day counts.  All samples are whole
+    ticks of at least 1.
+    """
+
+    kind: str
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` dwell times (int32 ticks, each >= 1)."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected dwell time in ticks."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedDwell(DwellTime):
+    """Deterministic dwell time (Table III ``dt-fixed`` rows)."""
+
+    days: int
+    kind: str = field(default="fixed", init=False)
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("fixed dwell must be >= 1 tick")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` copies of the fixed dwell time."""
+        return np.full(n, self.days, dtype=np.int32)
+
+    def mean(self) -> float:
+        """The fixed dwell time."""
+        return float(self.days)
+
+
+@dataclass(frozen=True)
+class NormalDwell(DwellTime):
+    """Rounded, truncated-normal dwell time (``dt-mean``/``dt-std dev``)."""
+
+    mu: float
+    sd: float
+    kind: str = field(default="normal", init=False)
+
+    def __post_init__(self) -> None:
+        if self.sd < 0:
+            raise ValueError("sd must be non-negative")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` rounded, >= 1 truncated-normal dwell times."""
+        draws = rng.normal(self.mu, self.sd, size=n)
+        return np.maximum(1, np.rint(draws)).astype(np.int32)
+
+    def mean(self) -> float:
+        """Approximate mean (the normal mean, floored at one tick)."""
+        return max(1.0, self.mu)
+
+
+@dataclass(frozen=True)
+class DiscreteDwell(DwellTime):
+    """Explicit distribution over day counts (``dt-discrete`` rows)."""
+
+    days: tuple[int, ...]
+    probs: tuple[float, ...]
+    kind: str = field(default="discrete", init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.days) != len(self.probs) or not self.days:
+            raise ValueError("days and probs must be equal-length, non-empty")
+        if any(d < 1 for d in self.days):
+            raise ValueError("all day values must be >= 1")
+        if abs(sum(self.probs) - 1.0) > 1e-9:
+            raise ValueError(f"probs must sum to 1, got {sum(self.probs)}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` day counts from the discrete distribution."""
+        return rng.choice(
+            np.asarray(self.days, dtype=np.int32), size=n, p=self.probs
+        )
+
+    def mean(self) -> float:
+        """Expected day count."""
+        return float(np.dot(self.days, self.probs))

@@ -1,0 +1,39 @@
+"""County-level metapopulation SEIR modelling (Case study 2)."""
+
+from .calibration import (
+    MetapopCalibration,
+    calibrate_metapop,
+    county_log_likelihood,
+)
+from .scenarios import (
+    ALL_SCENARIOS,
+    DISTANCE_APR30_25,
+    DISTANCE_APR30_50,
+    DISTANCE_JUN10_25,
+    DISTANCE_JUN10_50,
+    WORST_CASE,
+    Scenario,
+)
+from .seir import (
+    MetapopModel,
+    MetapopResult,
+    SEIRParams,
+    gravity_coupling,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "DISTANCE_APR30_25",
+    "DISTANCE_APR30_50",
+    "DISTANCE_JUN10_25",
+    "DISTANCE_JUN10_50",
+    "MetapopCalibration",
+    "MetapopModel",
+    "MetapopResult",
+    "SEIRParams",
+    "Scenario",
+    "WORST_CASE",
+    "calibrate_metapop",
+    "county_log_likelihood",
+    "gravity_coupling",
+]

@@ -1,0 +1,75 @@
+"""The five Case-study-2 scenarios (Appendix F).
+
+"We model five different scenarios.  One is the worst-case scenario, where
+limited social distancing is observed.  The remaining four assume a start
+date of March 15, 2020 for intense social distancing, and are further
+differentiated by the proposed end date for intense social distancing
+(April 30, 2020 and June 10, 2020) and reduced transmissibility rates
+(25% and 50%)."
+
+Dates are expressed as day offsets from the surveillance epoch
+(January 21, 2020): March 15 = day 54, April 30 = day 100,
+June 10 = day 141.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Day offsets from the 2020-01-21 epoch.
+MARCH_15: int = 54
+APRIL_30: int = 100
+JUNE_10: int = 141
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One social-distancing scenario.
+
+    Attributes:
+        name: scenario label.
+        start: distancing start day (None = no distancing).
+        end: distancing end day.
+        reduction: fractional transmissibility reduction while active.
+    """
+
+    name: str
+    start: int | None
+    end: int | None
+    reduction: float
+
+    def beta_modifier(self) -> Callable[[int], float]:
+        """Time-varying beta multiplier implementing the scenario."""
+        if self.start is None:
+            return lambda t: 1.0
+        start, end, factor = self.start, self.end, 1.0 - self.reduction
+
+        def modifier(t: int) -> float:
+            if t < start:
+                return 1.0
+            if end is not None and t >= end:
+                return 1.0
+            return factor
+
+        return modifier
+
+
+#: The paper's five scenarios.
+WORST_CASE = Scenario("worst-case", None, None, 0.0)
+DISTANCE_APR30_25 = Scenario("distancing-to-Apr30-25pct",
+                             MARCH_15, APRIL_30, 0.25)
+DISTANCE_APR30_50 = Scenario("distancing-to-Apr30-50pct",
+                             MARCH_15, APRIL_30, 0.50)
+DISTANCE_JUN10_25 = Scenario("distancing-to-Jun10-25pct",
+                             MARCH_15, JUNE_10, 0.25)
+DISTANCE_JUN10_50 = Scenario("distancing-to-Jun10-50pct",
+                             MARCH_15, JUNE_10, 0.50)
+
+ALL_SCENARIOS: tuple[Scenario, ...] = (
+    WORST_CASE,
+    DISTANCE_APR30_25,
+    DISTANCE_APR30_50,
+    DISTANCE_JUN10_25,
+    DISTANCE_JUN10_50,
+)

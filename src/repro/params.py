@@ -1,0 +1,69 @@
+"""Global constants and unit helpers shared across the reproduction.
+
+The paper operates at national scale (about 300 million synthetic people and
+7.9 billion contact edges).  This reproduction runs the same code paths at a
+configurable *scale factor*: ``DEFAULT_SCALE`` of ``1e-4`` yields roughly
+30,000 people and a proportionally sized network, which a laptop simulates in
+seconds while preserving the relative per-state distribution of Figure 6.
+
+All byte-size accounting (Tables I and II) is done at *paper scale* so the
+reported volumes match the publication, independent of the simulated scale.
+"""
+
+from __future__ import annotations
+
+# --- scale -----------------------------------------------------------------
+
+#: Fraction of the real population synthesised per region by default.
+DEFAULT_SCALE: float = 1e-4
+
+#: Paper-scale totals used for accounting (Section I).
+PAPER_TOTAL_NODES: int = 300_000_000
+PAPER_TOTAL_EDGES: int = 7_900_000_000
+
+# --- time ------------------------------------------------------------------
+
+#: Temporal resolution of EpiHiper: one tick is one day (Section III).
+TICKS_PER_DAY: int = 1
+
+#: Default horizon used by the nightly workflows (Figures 3-5: 365 days).
+DEFAULT_SIM_DAYS: int = 365
+
+#: Length of the nightly remote-cluster window, 10pm-8am (Section I).
+NIGHTLY_WINDOW_HOURS: float = 10.0
+
+# --- experiment design (Table I) --------------------------------------------
+
+N_REGIONS: int = 51  # 50 states + DC
+
+#: Health-state count used in the summary-size accounting of Figures 3-5
+#: ("365 days x 90 health states x 3 counts").
+N_SUMMARY_HEALTH_STATES: int = 90
+N_SUMMARY_COUNTS: int = 3
+
+# --- bytes -----------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+#: Bytes per record in EpiHiper's transition output
+#: (tick, person id, exit state, contact id): Section III, "Output data".
+BYTES_PER_TRANSITION: int = 16
+
+#: Bytes per aggregated summary entry (day, state, count triple member).
+BYTES_PER_SUMMARY_ENTRY: int = 2
+
+# --- randomness -------------------------------------------------------------
+
+#: Seed used by deterministic entry points when the caller supplies none.
+DEFAULT_SEED: int = 20200325  # first day of uninterrupted weekly delivery
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with the unit the paper would use (``2.5GB``)."""
+    for unit, div in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= div:
+            return f"{n / div:.1f}{unit}"
+    return f"{n:.0f}B"

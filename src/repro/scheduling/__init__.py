@@ -1,0 +1,63 @@
+"""Job mapping and scheduling heuristics (paper Section V)."""
+
+from .categories import (
+    LARGE_NODES,
+    MEDIUM_NODES,
+    SMALL_NODES,
+    category_name,
+    category_table,
+    node_category,
+)
+from .coloring import (
+    clique_colors_needed,
+    colors_to_waves,
+    greedy_relaxed_coloring,
+    region_conflict_graph,
+    schedule_waves_makespan,
+    validate_relaxed_coloring,
+)
+from .levels import (
+    Level,
+    PackingResult,
+    pack_ffdt_dc,
+    pack_nfdt_dc,
+    packing_quality,
+)
+from .metrics import (
+    UtilizationSample,
+    execute_packing,
+    jobs_from_packing,
+    median_utilization,
+    utilization_cdf,
+    utilization_experiment,
+)
+from .wmp import MappingTask, WMPInstance, make_nightly_instance
+
+__all__ = [
+    "LARGE_NODES",
+    "Level",
+    "MEDIUM_NODES",
+    "MappingTask",
+    "PackingResult",
+    "SMALL_NODES",
+    "UtilizationSample",
+    "WMPInstance",
+    "category_name",
+    "category_table",
+    "clique_colors_needed",
+    "colors_to_waves",
+    "execute_packing",
+    "greedy_relaxed_coloring",
+    "jobs_from_packing",
+    "make_nightly_instance",
+    "median_utilization",
+    "node_category",
+    "pack_ffdt_dc",
+    "pack_nfdt_dc",
+    "packing_quality",
+    "region_conflict_graph",
+    "schedule_waves_makespan",
+    "utilization_cdf",
+    "utilization_experiment",
+    "validate_relaxed_coloring",
+]

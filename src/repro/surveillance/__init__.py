@@ -1,0 +1,40 @@
+"""Synthetic county-level surveillance data (ground-truth substitute).
+
+Public entry points:
+
+- :func:`repro.surveillance.generate_region_truth` — one region's series.
+- :func:`repro.surveillance.multi_source_truth` — the merged multi-source
+  feed the calibration workflow consumes.
+"""
+
+from .sources import (
+    DEFAULT_SOURCES,
+    JHU,
+    NYT,
+    UVA_DASHBOARD,
+    SourceSpec,
+    merge_sources,
+    multi_source_truth,
+    observe_through_source,
+)
+from .truth import (
+    EPOCH,
+    GroundTruth,
+    generate_national_truth,
+    generate_region_truth,
+)
+
+__all__ = [
+    "DEFAULT_SOURCES",
+    "EPOCH",
+    "GroundTruth",
+    "JHU",
+    "NYT",
+    "SourceSpec",
+    "UVA_DASHBOARD",
+    "generate_national_truth",
+    "generate_region_truth",
+    "merge_sources",
+    "multi_source_truth",
+    "observe_through_source",
+]

@@ -1,0 +1,247 @@
+"""Contact-network derivation from co-occupancy (Appendix C, network model).
+
+From the people-location visit table we form ``G_max`` (all pairs of people
+simultaneously present at a location), then apply sub-location contact
+modelling to retain a realistic subset, producing the typical-day contact
+network ``G_Wednesday`` used by the simulations.
+
+Each retained edge carries the paper's attributes (Section III): the two
+person ids, the interaction start time and duration, and the activity
+*context* of each endpoint (which may differ: a shopper contacts a worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from .activities import assign_activities
+from .locations import VisitTable, assign_locations
+from .persons import Population, generate_population
+from .regions import Region, get_region
+
+#: Locations with at most this many co-present visitors form a full clique
+#: (small venues: households, small offices).
+DENSE_THRESHOLD: int = 12
+
+#: In larger venues each visitor contacts about this many random others.
+CONTACTS_PER_VISITOR: int = 6
+
+#: Minimum temporal overlap (minutes) for a contact to be retained.
+MIN_OVERLAP_MIN: int = 5
+
+
+@dataclass(slots=True)
+class ContactNetwork:
+    """Columnar undirected contact network for one region.
+
+    Edges are stored once with ``source < target``.  The ``active`` flag is
+    the dynamic on/off switch interventions toggle during simulation
+    (Section III: "each edge ... can be turned on and off dynamically").
+    """
+
+    region_code: str
+    n_nodes: int
+    source: np.ndarray  #: int64
+    target: np.ndarray  #: int64
+    start: np.ndarray  #: int32 minutes after midnight
+    duration: np.ndarray  #: int32 minutes of overlap
+    source_activity: np.ndarray  #: int8 context of source endpoint
+    target_activity: np.ndarray  #: int8 context of target endpoint
+    weight: np.ndarray  #: float32 edge weight w_e in Eq. (1)
+    active: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+
+    def __post_init__(self) -> None:
+        m = self.source.shape[0]
+        for name in ("target", "start", "duration", "source_activity",
+                     "target_activity", "weight"):
+            if getattr(self, name).shape[0] != m:
+                raise ValueError(f"edge column {name} length mismatch")
+        if self.active.size == 0:
+            self.active = np.ones(m, dtype=bool)
+        if m and not (self.source < self.target).all():
+            raise ValueError("edges must be canonical: source < target")
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.source.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node (counting inactive edges too)."""
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        np.add.at(deg, self.source, 1)
+        np.add.at(deg, self.target, 1)
+        return deg
+
+    def mean_degree(self) -> float:
+        """Average contact degree."""
+        return 2.0 * self.n_edges / max(1, self.n_nodes)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour ids of ``node`` over all (active or not) edges."""
+        out = np.concatenate([
+            self.target[self.source == node],
+            self.source[self.target == node],
+        ])
+        return np.unique(out)
+
+    def subset(self, mask: np.ndarray) -> "ContactNetwork":
+        """A new network containing only edges where ``mask`` is true."""
+        return ContactNetwork(
+            region_code=self.region_code,
+            n_nodes=self.n_nodes,
+            source=self.source[mask],
+            target=self.target[mask],
+            start=self.start[mask],
+            duration=self.duration[mask],
+            source_activity=self.source_activity[mask],
+            target_activity=self.target_activity[mask],
+            weight=self.weight[mask],
+            active=self.active[mask],
+        )
+
+
+def _pairs_for_group(
+    g: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Local index pairs (i, j) to evaluate for a co-location group of ``g``.
+
+    Dense groups return every pair; sparse groups return a random sample of
+    about ``g * CONTACTS_PER_VISITOR / 2`` candidate pairs (the sub-location
+    contact model).
+    """
+    if g <= DENSE_THRESHOLD:
+        return np.triu_indices(g, k=1)
+    n_pairs = (g * CONTACTS_PER_VISITOR) // 2
+    i = rng.integers(0, g, size=n_pairs)
+    j = rng.integers(0, g, size=n_pairs)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    return lo, hi
+
+
+def derive_contacts(
+    visits: VisitTable,
+    n_nodes: int,
+    region_code: str,
+    rng: np.random.Generator,
+) -> ContactNetwork:
+    """Apply co-occupancy + sub-location modelling to build the network.
+
+    Args:
+        visits: the bipartite people-location table.
+        n_nodes: population size (nodes may be isolated).
+        region_code: postal code recorded on the network.
+        rng: random generator for the sub-location sampling.
+
+    Returns:
+        The deduplicated typical-day :class:`ContactNetwork`.
+    """
+    order = np.argsort(visits.location, kind="stable")
+    loc = visits.location[order]
+    person = visits.person[order]
+    kind = visits.kind[order]
+    start = visits.start[order]
+    end = start + visits.duration[order]
+
+    srcs: list[np.ndarray] = []
+    tgts: list[np.ndarray] = []
+    e_start: list[np.ndarray] = []
+    e_dur: list[np.ndarray] = []
+    e_ka: list[np.ndarray] = []
+    e_kb: list[np.ndarray] = []
+
+    boundaries = np.flatnonzero(np.diff(loc)) + 1
+    group_starts = np.concatenate([[0], boundaries])
+    group_ends = np.concatenate([boundaries, [loc.size]])
+
+    for a, b in zip(group_starts, group_ends):
+        g = b - a
+        if g < 2:
+            continue
+        li, lj = _pairs_for_group(int(g), rng)
+        if li.size == 0:
+            continue
+        pi, pj = person[a + li], person[a + lj]
+        ov_start = np.maximum(start[a + li], start[a + lj])
+        ov_end = np.minimum(end[a + li], end[a + lj])
+        overlap = ov_end - ov_start
+        ok = (overlap >= MIN_OVERLAP_MIN) & (pi != pj)
+        if not ok.any():
+            continue
+        li, lj, pi, pj = li[ok], lj[ok], pi[ok], pj[ok]
+        # Canonicalise by person id; carry each endpoint's own context.
+        swap = pi > pj
+        s = np.where(swap, pj, pi)
+        t = np.where(swap, pi, pj)
+        ka = np.where(swap, kind[a + lj], kind[a + li])
+        kb = np.where(swap, kind[a + li], kind[a + lj])
+        srcs.append(s)
+        tgts.append(t)
+        e_start.append(ov_start[ok].astype(np.int32))
+        e_dur.append(overlap[ok].astype(np.int32))
+        e_ka.append(ka.astype(np.int8))
+        e_kb.append(kb.astype(np.int8))
+
+    if not srcs:
+        empty_i64 = np.empty(0, np.int64)
+        empty_i32 = np.empty(0, np.int32)
+        empty_i8 = np.empty(0, np.int8)
+        return ContactNetwork(
+            region_code, n_nodes, empty_i64, empty_i64.copy(),
+            empty_i32, empty_i32.copy(), empty_i8, empty_i8.copy(),
+            np.empty(0, np.float32),
+        )
+
+    source = np.concatenate(srcs)
+    target = np.concatenate(tgts)
+    e_start_a = np.concatenate(e_start)
+    e_dur_a = np.concatenate(e_dur)
+    ka_a = np.concatenate(e_ka)
+    kb_a = np.concatenate(e_kb)
+
+    # Deduplicate (person pair, source context): keep the longest overlap.
+    key = (source * n_nodes + target) * 8 + ka_a
+    order = np.lexsort((-e_dur_a, key))
+    key_sorted = key[order]
+    first = np.ones(key_sorted.size, dtype=bool)
+    first[1:] = key_sorted[1:] != key_sorted[:-1]
+    sel = order[first]
+
+    return ContactNetwork(
+        region_code=region_code,
+        n_nodes=n_nodes,
+        source=source[sel],
+        target=target[sel],
+        start=e_start_a[sel],
+        duration=e_dur_a[sel],
+        source_activity=ka_a[sel],
+        target_activity=kb_a[sel],
+        weight=np.ones(sel.size, dtype=np.float32),
+    )
+
+
+def build_region_network(
+    region: Region | str,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> tuple[Population, ContactNetwork]:
+    """End-to-end synthesis: persons -> activities -> locations -> contacts.
+
+    This is the public entry point for generating one region's inputs; it is
+    deterministic in ``(region, scale, seed)``.
+    """
+    if isinstance(region, str):
+        region = get_region(region)
+    pop = generate_population(region, scale=scale, seed=seed)
+    rng = np.random.default_rng((seed, region.fips, 1))
+    acts = assign_activities(pop, rng)
+    visits = assign_locations(pop, acts, rng)
+    net = derive_contacts(visits, pop.size, region.code, rng)
+    return pop, net

@@ -1,0 +1,107 @@
+"""CSV serialisation of populations and contact networks.
+
+The paper supplies population traits and contact networks to the simulations
+as CSV files (Section III, "Input Data"), the persons file holding household
+ID, age and age group, gender, county code, and home latitude/longitude, and
+the network file holding the two person ids, start time, duration, and the
+context of each endpoint.  These readers/writers reproduce those schemas so
+the artefact sizes and parsing costs can be measured.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .activities import ACTIVITY_TYPES
+from .contacts import ContactNetwork
+from .persons import AGE_GROUPS, Population
+
+PERSON_HEADER = [
+    "pid", "hid", "age", "age_group", "gender", "county",
+    "home_lat", "home_lon",
+]
+
+EDGE_HEADER = [
+    "source", "target", "start", "duration",
+    "source_activity", "target_activity", "weight",
+]
+
+
+def write_persons_csv(pop: Population, path: str | Path) -> int:
+    """Write the persons file; returns the number of data rows written."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(PERSON_HEADER)
+        for i in range(pop.size):
+            w.writerow([
+                int(pop.pid[i]), int(pop.hid[i]), int(pop.age[i]),
+                AGE_GROUPS[pop.age_group[i]],
+                "F" if pop.gender[i] == 0 else "M",
+                int(pop.county[i]),
+                f"{pop.home_lat[i]:.5f}", f"{pop.home_lon[i]:.5f}",
+            ])
+    return pop.size
+
+
+def read_persons_csv(path: str | Path, region_code: str) -> Population:
+    """Read a persons file back into a :class:`Population`."""
+    rows = list(csv.DictReader(Path(path).open()))
+    n = len(rows)
+    group_idx = {g: i for i, g in enumerate(AGE_GROUPS)}
+    pop = Population(
+        region_code=region_code,
+        pid=np.asarray([int(r["pid"]) for r in rows], np.int64),
+        hid=np.asarray([int(r["hid"]) for r in rows], np.int64),
+        age=np.asarray([int(r["age"]) for r in rows], np.int16),
+        age_group=np.asarray(
+            [group_idx[r["age_group"]] for r in rows], np.int8),
+        gender=np.asarray(
+            [0 if r["gender"] == "F" else 1 for r in rows], np.int8),
+        county=np.asarray([int(r["county"]) for r in rows], np.int32),
+        home_lat=np.asarray([float(r["home_lat"]) for r in rows], np.float32),
+        home_lon=np.asarray([float(r["home_lon"]) for r in rows], np.float32),
+    )
+    assert pop.size == n
+    return pop
+
+
+def write_network_csv(net: ContactNetwork, path: str | Path) -> int:
+    """Write the contact-network file; returns the number of edges."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(EDGE_HEADER)
+        for i in range(net.n_edges):
+            w.writerow([
+                int(net.source[i]), int(net.target[i]),
+                int(net.start[i]), int(net.duration[i]),
+                ACTIVITY_TYPES[net.source_activity[i]],
+                ACTIVITY_TYPES[net.target_activity[i]],
+                f"{net.weight[i]:.3f}",
+            ])
+    return net.n_edges
+
+
+def read_network_csv(
+    path: str | Path, n_nodes: int, region_code: str
+) -> ContactNetwork:
+    """Read a contact-network file back into a :class:`ContactNetwork`."""
+    rows = list(csv.DictReader(Path(path).open()))
+    act_idx = {a: i for i, a in enumerate(ACTIVITY_TYPES)}
+    return ContactNetwork(
+        region_code=region_code,
+        n_nodes=n_nodes,
+        source=np.asarray([int(r["source"]) for r in rows], np.int64),
+        target=np.asarray([int(r["target"]) for r in rows], np.int64),
+        start=np.asarray([int(r["start"]) for r in rows], np.int32),
+        duration=np.asarray([int(r["duration"]) for r in rows], np.int32),
+        source_activity=np.asarray(
+            [act_idx[r["source_activity"]] for r in rows], np.int8),
+        target_activity=np.asarray(
+            [act_idx[r["target_activity"]] for r in rows], np.int8),
+        weight=np.asarray([float(r["weight"]) for r in rows], np.float32),
+    )

@@ -1,0 +1,128 @@
+"""Region (state) metadata for the 50 US states plus Washington DC.
+
+The paper builds one synthetic population and contact network per region
+(Figure 6).  This module records real-world census-scale populations and
+county counts so that scaled-down populations preserve the *relative*
+distribution of node and edge counts across regions, which is what the
+scheduling experiments (Figures 8 and 9) depend on.
+
+Populations are 2019 vintage estimates (the data year the paper's networks
+were built from), rounded to thousands.  County counts sum to 3,140, matching
+"3140 counties across the USA" (Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """One of the 51 modelled regions (a US state or DC)."""
+
+    code: str  #: two-letter postal code
+    name: str
+    population: int  #: real-scale number of residents
+    counties: int  #: number of counties (or county equivalents)
+    fips: int  #: 2-digit state FIPS prefix
+
+    def scaled_population(self, scale: float) -> int:
+        """Number of synthetic persons at ``scale`` (at least 50)."""
+        return max(50, round(self.population * scale))
+
+
+# code, name, population, counties, fips
+_RAW: list[tuple[str, str, int, int, int]] = [
+    ("AL", "Alabama", 4_903_000, 67, 1),
+    ("AK", "Alaska", 731_000, 27, 2),
+    ("AZ", "Arizona", 7_279_000, 15, 4),
+    ("AR", "Arkansas", 3_018_000, 75, 5),
+    ("CA", "California", 39_512_000, 58, 6),
+    ("CO", "Colorado", 5_759_000, 64, 8),
+    ("CT", "Connecticut", 3_565_000, 8, 9),
+    ("DE", "Delaware", 974_000, 3, 10),
+    ("DC", "District of Columbia", 706_000, 1, 11),
+    ("FL", "Florida", 21_478_000, 67, 12),
+    ("GA", "Georgia", 10_617_000, 159, 13),
+    ("HI", "Hawaii", 1_416_000, 5, 15),
+    ("ID", "Idaho", 1_787_000, 44, 16),
+    ("IL", "Illinois", 12_672_000, 102, 17),
+    ("IN", "Indiana", 6_732_000, 92, 18),
+    ("IA", "Iowa", 3_155_000, 99, 19),
+    ("KS", "Kansas", 2_913_000, 105, 20),
+    ("KY", "Kentucky", 4_468_000, 120, 21),
+    ("LA", "Louisiana", 4_649_000, 64, 22),
+    ("ME", "Maine", 1_344_000, 16, 23),
+    ("MD", "Maryland", 6_046_000, 24, 24),
+    ("MA", "Massachusetts", 6_893_000, 14, 25),
+    ("MI", "Michigan", 9_987_000, 83, 26),
+    ("MN", "Minnesota", 5_640_000, 87, 27),
+    ("MS", "Mississippi", 2_976_000, 82, 28),
+    ("MO", "Missouri", 6_137_000, 115, 29),
+    ("MT", "Montana", 1_069_000, 56, 30),
+    ("NE", "Nebraska", 1_934_000, 93, 31),
+    ("NV", "Nevada", 3_080_000, 17, 32),
+    ("NH", "New Hampshire", 1_360_000, 10, 33),
+    ("NJ", "New Jersey", 8_882_000, 21, 34),
+    ("NM", "New Mexico", 2_097_000, 33, 35),
+    ("NY", "New York", 19_454_000, 62, 36),
+    ("NC", "North Carolina", 10_488_000, 100, 37),
+    ("ND", "North Dakota", 762_000, 53, 38),
+    ("OH", "Ohio", 11_689_000, 88, 39),
+    ("OK", "Oklahoma", 3_957_000, 77, 40),
+    ("OR", "Oregon", 4_218_000, 36, 41),
+    ("PA", "Pennsylvania", 12_802_000, 67, 42),
+    ("RI", "Rhode Island", 1_059_000, 5, 44),
+    ("SC", "South Carolina", 5_149_000, 46, 45),
+    ("SD", "South Dakota", 885_000, 66, 46),
+    ("TN", "Tennessee", 6_829_000, 95, 47),
+    ("TX", "Texas", 28_996_000, 254, 48),
+    ("UT", "Utah", 3_206_000, 29, 49),
+    ("VT", "Vermont", 624_000, 14, 50),
+    ("VA", "Virginia", 8_536_000, 133, 51),
+    ("WA", "Washington", 7_615_000, 39, 53),
+    ("WV", "West Virginia", 1_792_000, 55, 54),
+    ("WI", "Wisconsin", 5_822_000, 72, 55),
+    ("WY", "Wyoming", 579_000, 23, 56),
+]
+
+#: All 51 regions keyed by postal code.
+REGIONS: dict[str, Region] = {
+    code: Region(code, name, pop, counties, fips)
+    for code, name, pop, counties, fips in _RAW
+}
+
+#: Region codes sorted alphabetically (the paper's Figure 8 x-axis order).
+ALL_CODES: tuple[str, ...] = tuple(sorted(REGIONS))
+
+#: Region codes in ascending population order (Figure 6 x-axis order).
+BY_POPULATION: tuple[str, ...] = tuple(
+    sorted(REGIONS, key=lambda c: REGIONS[c].population)
+)
+
+
+def get_region(code: str) -> Region:
+    """Look up a region by its postal code, case-insensitively."""
+    try:
+        return REGIONS[code.upper()]
+    except KeyError:
+        raise KeyError(f"unknown region code {code!r}") from None
+
+
+def total_population() -> int:
+    """Real-scale population across all 51 regions (about 328M)."""
+    return sum(r.population for r in REGIONS.values())
+
+
+def total_counties() -> int:
+    """Total number of counties across all regions (3,140 in the paper)."""
+    return sum(r.counties for r in REGIONS.values())
+
+
+def county_fips(region: Region) -> list[int]:
+    """Synthetic 5-digit county FIPS codes for ``region``.
+
+    Real county FIPS are odd numbers ``1, 3, 5, ...`` within the state; we
+    follow the same convention so identifiers look like the paper's inputs.
+    """
+    return [region.fips * 1000 + (2 * i + 1) for i in range(region.counties)]

@@ -1,0 +1,82 @@
+"""Hospital-capacity / resource-depletion tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.capacity import (
+    BEDS_PER_1000,
+    OverflowReport,
+    assess_overflow,
+    capacity_report,
+    region_capacity,
+)
+from repro.synthpop.regions import get_region
+
+
+def test_region_capacity_rates():
+    cap = region_capacity("VA")
+    va = get_region("VA")
+    assert cap.beds == round(va.population / 1000 * BEDS_PER_1000)
+    assert cap.icu_beds < cap.beds
+    assert cap.ventilators < cap.icu_beds
+    assert 0 < cap.surge_beds < cap.beds
+
+
+def test_region_capacity_scales():
+    full = region_capacity("VA")
+    scaled = region_capacity("VA", scale=1e-3)
+    assert scaled.beds == pytest.approx(full.beds * 1e-3, abs=2)
+
+
+def test_assess_no_overflow():
+    census = np.array([0, 5, 10, 8, 2])
+    rep = assess_overflow(census, 20, resource="beds")
+    assert not rep.overflows
+    assert rep.first_overflow_day == -1
+    assert rep.peak_demand == 10
+    assert rep.peak_day == 2
+    assert rep.excess_patient_days == 0
+    assert rep.peak_utilization == pytest.approx(0.5)
+
+
+def test_assess_overflow():
+    census = np.array([0, 15, 30, 25, 5])
+    rep = assess_overflow(census, 20, resource="beds")
+    assert rep.overflows
+    assert rep.first_overflow_day == 2
+    assert rep.overflow_days == 2
+    assert rep.excess_patient_days == (30 - 20) + (25 - 20)
+    assert rep.peak_utilization == pytest.approx(1.5)
+
+
+def test_capacity_report_from_simulation(va_run, covid_model):
+    from repro.analytics.aggregate import summarize
+    from repro.analytics.targets import (
+        HOSPITAL_CENSUS,
+        VENTILATOR_CENSUS,
+        target_series,
+    )
+
+    pop, _net, result = va_run
+    summary = summarize(result, covid_model)
+    hosp = target_series(summary, covid_model, HOSPITAL_CENSUS)
+    vent = target_series(summary, covid_model, VENTILATOR_CENSUS)
+    report = capacity_report(hosp, vent, "VA", scale=1e-3)
+    assert set(report) == {"beds", "ventilators"}
+    for rep in report.values():
+        assert isinstance(rep, OverflowReport)
+        assert rep.capacity > 0
+        assert rep.peak_demand >= 0
+    # Ventilator demand never exceeds bed demand.
+    assert (report["ventilators"].peak_demand
+            <= report["beds"].peak_demand)
+
+
+def test_worse_epidemic_more_overflow():
+    mild = np.full(50, 5)
+    severe = np.full(50, 50)
+    cap = 10
+    assert not assess_overflow(mild, cap, resource="x").overflows
+    bad = assess_overflow(severe, cap, resource="x")
+    assert bad.overflow_days == 50
+    assert bad.excess_patient_days == 40 * 50

@@ -1,0 +1,89 @@
+"""Forecast-target extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.aggregate import summarize
+from repro.analytics.targets import (
+    ALL_TARGETS,
+    CONFIRMED,
+    DAILY_CASES,
+    DEATHS,
+    HOSPITAL_CENSUS,
+    HOSPITALIZATIONS,
+    VENTILATIONS,
+    peak_demand,
+    target_series,
+)
+
+
+@pytest.fixture(scope="module")
+def summary(va_run, covid_model):
+    _pop, _net, result = va_run
+    return summarize(result, covid_model)
+
+
+def test_confirmed_cumulative_monotone(summary, covid_model):
+    series = target_series(summary, covid_model, CONFIRMED)
+    assert (np.diff(series) >= 0).all()
+
+
+def test_confirmed_equals_symptomatic_entries(summary, covid_model, va_run):
+    _pop, _net, result = va_run
+    series = target_series(summary, covid_model, CONFIRMED)
+    sympt_entries = result.log.entering(
+        covid_model.code("Symptomatic")).size
+    assert series[-1] == sympt_entries
+
+
+def test_daily_cases_sum_to_confirmed_final(summary, covid_model):
+    daily = target_series(summary, covid_model, DAILY_CASES)
+    cum = target_series(summary, covid_model, CONFIRMED)
+    assert daily.sum() == cum[-1]
+
+
+def test_hospitalizations_no_double_count(summary, covid_model, va_run):
+    """Hospitalization incidence counts admissions, not internal moves
+    (Hospitalized -> Ventilated must not count twice)."""
+    _pop, _net, result = va_run
+    adm = target_series(summary, covid_model, HOSPITALIZATIONS)
+    hosp_entries = (
+        result.log.entering(covid_model.code("Hospitalized")).size
+        + result.log.entering(covid_model.code("Hospitalized_D")).size
+    )
+    assert adm.sum() == hosp_entries
+
+
+def test_ventilations_subset_of_hospitalizations(summary, covid_model):
+    vents = target_series(summary, covid_model, VENTILATIONS).sum()
+    hosp = target_series(summary, covid_model, HOSPITALIZATIONS).sum()
+    assert vents <= hosp
+
+
+def test_census_bounded_by_population(summary, covid_model, va_run):
+    pop, _net, _result = va_run
+    census = target_series(summary, covid_model, HOSPITAL_CENSUS)
+    assert census.max() <= pop.size
+    assert census.min() >= 0
+
+
+def test_deaths_monotone_and_final(summary, covid_model, va_run):
+    _pop, _net, result = va_run
+    deaths = target_series(summary, covid_model, DEATHS)
+    assert (np.diff(deaths) >= 0).all()
+    assert deaths[-1] == result.state_counts[-1][
+        covid_model.code("Death")]
+
+
+def test_all_targets_extract(summary, covid_model):
+    for t in ALL_TARGETS:
+        series = target_series(summary, covid_model, t)
+        assert series.shape[0] == summary.new.shape[0]
+        assert (series >= 0).all()
+
+
+def test_peak_demand(summary, covid_model):
+    day, value = peak_demand(summary, covid_model, HOSPITAL_CENSUS)
+    series = target_series(summary, covid_model, HOSPITAL_CENSUS)
+    assert value == series.max()
+    assert series[day] == value

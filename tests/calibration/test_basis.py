@@ -1,0 +1,80 @@
+"""Eigenbasis (Eq. 3) tests."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.basis import fit_basis
+
+
+def low_rank_ensemble(n, t, rank, seed, noise=0.0):
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, t))
+    coeffs = rng.normal(size=(n, rank))
+    y = coeffs @ basis + 100.0
+    if noise:
+        y = y + rng.normal(0, noise, size=y.shape)
+    return y
+
+
+def test_basis_shapes():
+    y = low_rank_ensemble(30, 80, 3, seed=0)
+    b = fit_basis(y, p_eta=5)
+    assert b.phi.shape == (80, 3)  # capped at rank
+    assert b.mean.shape == (80,)
+    assert b.explained.shape == (3,)
+
+
+def test_rank_p_data_reconstructs_exactly():
+    y = low_rank_ensemble(25, 60, 4, seed=1)
+    b = fit_basis(y, p_eta=4)
+    assert b.reconstruction_error(y) < 1e-8
+
+
+def test_explained_variance_ordering():
+    y = low_rank_ensemble(40, 100, 6, seed=2, noise=0.1)
+    b = fit_basis(y, p_eta=5)
+    assert (np.diff(b.explained) <= 1e-12).all()
+    assert b.explained.sum() <= 1.0 + 1e-9
+
+
+def test_more_components_less_error():
+    y = low_rank_ensemble(40, 100, 8, seed=3)
+    errs = [fit_basis(y, p_eta=p).reconstruction_error(y)
+            for p in (1, 3, 6, 8)]
+    assert errs == sorted(errs, reverse=True)
+    assert errs[-1] < 1e-8
+
+
+def test_project_reconstruct_roundtrip_in_span():
+    y = low_rank_ensemble(30, 50, 3, seed=4)
+    b = fit_basis(y, p_eta=3)
+    w = b.project(y[:5])
+    assert w.shape == (5, 3)
+    np.testing.assert_allclose(b.reconstruct(w), y[:5], atol=1e-6)
+
+
+def test_coefficients_near_unit_scale():
+    """GPMSA scaling: training coefficients should be O(1)."""
+    y = low_rank_ensemble(50, 80, 5, seed=5)
+    b = fit_basis(y, p_eta=5)
+    w = b.project(y)
+    assert 0.1 < w.std() < 10.0
+
+
+def test_truncation_sd_zero_when_complete():
+    y = low_rank_ensemble(20, 40, 2, seed=6)
+    b = fit_basis(y, p_eta=2)
+    assert b.truncation_sd.max() < 1e-8
+
+
+def test_truncation_sd_positive_when_truncated():
+    y = low_rank_ensemble(30, 40, 10, seed=7)
+    b = fit_basis(y, p_eta=2)
+    assert b.truncation_sd.max() > 0.01
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fit_basis(np.ones((1, 10)))
+    with pytest.raises(ValueError):
+        fit_basis(np.ones((5, 10)))  # zero variance

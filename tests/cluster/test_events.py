@@ -1,0 +1,75 @@
+"""Discrete-event loop tests."""
+
+import pytest
+
+from repro.cluster.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+    assert loop.now == 3.0
+
+
+def test_ties_fire_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(1.0, lambda: fired.append(2))
+    loop.run()
+    assert fired == [1, 2]
+
+
+def test_handlers_can_schedule_more():
+    loop = EventLoop()
+    fired = []
+
+    def chain():
+        fired.append(loop.now)
+        if len(fired) < 3:
+            loop.schedule(1.0, chain)
+
+    loop.schedule(0.0, chain)
+    loop.run()
+    assert fired == [0.0, 1.0, 2.0]
+
+
+def test_cancel():
+    loop = EventLoop()
+    fired = []
+    ev = loop.schedule(1.0, lambda: fired.append("x"))
+    loop.cancel(ev)
+    loop.run()
+    assert fired == []
+    assert loop.pending == 0
+
+
+def test_run_until():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(5.0, lambda: fired.append(5))
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(4.0, lambda: fired.append(loop.now))
+    loop.run()
+    assert fired == [4.0]

@@ -1,0 +1,137 @@
+"""Failure-injection tests: node loss, transfer retries, DB queueing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import (
+    FaultySlurmSimulator,
+    FlakyGlobusLink,
+    QueueingDatabase,
+)
+from repro.cluster.machines import ClusterSpec
+from repro.cluster.slurm import Job
+from repro.params import GB
+
+
+def tiny_cluster(n_nodes=16):
+    return ClusterSpec("tiny", n_nodes, 2, 14, 128 * 10**9, "x", "y", "z")
+
+
+def job_list(n=20, nodes=2, runtime=600.0):
+    return [Job(f"j{i}", f"R{i % 4}", nodes, runtime) for i in range(n)]
+
+
+def test_no_failures_when_mttf_huge():
+    sim = FaultySlurmSimulator(tiny_cluster(), node_mttf_hours=1e12,
+                               rng=np.random.default_rng(0))
+    out = sim.run(job_list())
+    assert out.reruns == 0
+    assert not out.failures
+    assert len(out.schedule.records) == 20
+
+
+def test_all_jobs_complete_despite_failures():
+    sim = FaultySlurmSimulator(tiny_cluster(), node_mttf_hours=2.0,
+                               rng=np.random.default_rng(1))
+    jobs = job_list()
+    out = sim.run(jobs)
+    finished = {r.job.job_id for r in out.schedule.records}
+    assert finished == {j.job_id for j in jobs}
+    assert out.reruns > 0
+    assert out.wasted_node_seconds > 0
+
+
+def test_failures_extend_makespan():
+    jobs = job_list()
+    clean = FaultySlurmSimulator(
+        tiny_cluster(), node_mttf_hours=1e12,
+        rng=np.random.default_rng(2)).run(list(jobs))
+    faulty = FaultySlurmSimulator(
+        tiny_cluster(), node_mttf_hours=1.0,
+        rng=np.random.default_rng(2)).run(list(jobs))
+    assert faulty.schedule.makespan > clean.schedule.makespan
+    assert faulty.overhead_fraction > 0
+
+
+def test_overhead_grows_with_failure_rate():
+    jobs = job_list(30)
+    overheads = []
+    for mttf in (50.0, 2.0):
+        out = FaultySlurmSimulator(
+            tiny_cluster(), node_mttf_hours=mttf,
+            rng=np.random.default_rng(3)).run(list(jobs))
+        overheads.append(out.overhead_fraction)
+    assert overheads[1] > overheads[0]
+
+
+def test_max_attempts_caps_retries():
+    """At the attempt cap a job is allowed to finish (modelled checkpoint
+    recovery) rather than looping forever."""
+    sim = FaultySlurmSimulator(tiny_cluster(), node_mttf_hours=0.01,
+                               max_attempts=2,
+                               rng=np.random.default_rng(4))
+    out = sim.run(job_list(5))
+    assert len(out.schedule.records) == 5
+    for job_id in (r.job.job_id for r in out.schedule.records):
+        assert True  # completion is the invariant
+
+
+def test_mttf_validation():
+    with pytest.raises(ValueError):
+        FaultySlurmSimulator(tiny_cluster(), node_mttf_hours=0.0)
+
+
+def test_flaky_link_retries_and_succeeds():
+    link = FlakyGlobusLink("a", "b", bandwidth=1.0 * GB,
+                           failure_probability=0.6,
+                           rng=np.random.default_rng(5))
+    rec = link.transfer("data", "a", "b", 10 * GB)
+    clean = FlakyGlobusLink("a", "b", bandwidth=1.0 * GB,
+                            failure_probability=0.0)
+    base = clean.transfer("data", "a", "b", 10 * GB)
+    assert rec.duration >= base.duration
+    assert len(link.records) == 1
+
+
+def test_flaky_link_logs_interruptions():
+    link = FlakyGlobusLink("a", "b", failure_probability=0.9,
+                           max_retries=50,
+                           rng=np.random.default_rng(6))
+    link.transfer("data", "a", "b", GB)
+    assert link.retry_log
+    assert all(e.kind == "transfer" for e in link.retry_log)
+
+
+def test_flaky_link_gives_up():
+    link = FlakyGlobusLink("a", "b", failure_probability=1.0,
+                           max_retries=3,
+                           rng=np.random.default_rng(7))
+    with pytest.raises(RuntimeError, match="failed 3 times"):
+        link.transfer("data", "a", "b", GB)
+
+
+def test_queueing_db_no_wait_under_cap():
+    db = QueueingDatabase(max_connections=3)
+    starts = [db.acquire(0.0, 10.0) for _ in range(3)]
+    assert starts == [0.0, 0.0, 0.0]
+    assert db.total_wait == 0.0
+
+
+def test_queueing_db_queues_beyond_cap():
+    db = QueueingDatabase(max_connections=2)
+    db.acquire(0.0, 10.0)
+    db.acquire(0.0, 20.0)
+    start = db.acquire(0.0, 5.0)  # queued behind the first release
+    assert start == 10.0
+    assert db.total_wait == 10.0
+
+
+def test_queueing_db_slots_free_over_time():
+    db = QueueingDatabase(max_connections=1)
+    db.acquire(0.0, 5.0)
+    assert db.acquire(7.0, 5.0) == 7.0  # slot already free
+
+
+def test_queueing_db_validation():
+    with pytest.raises(ValueError):
+        QueueingDatabase(0)

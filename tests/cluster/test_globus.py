@@ -1,0 +1,70 @@
+"""Globus transfer-model tests."""
+
+import pytest
+
+from repro.cluster.globus import (
+    GlobusLink,
+    STARTUP_SECONDS,
+    TABLE_II_SIZES,
+)
+from repro.params import GB, MB, TB
+
+
+@pytest.fixture()
+def link():
+    return GlobusLink("rivanna", "bridges", bandwidth=1.0 * GB)
+
+
+def test_duration_model(link):
+    assert link.duration_of(0) == STARTUP_SECONDS
+    assert link.duration_of(10 * GB) == pytest.approx(
+        STARTUP_SECONDS + 10.0)
+
+
+def test_manual_delay():
+    link = GlobusLink("a", "b", bandwidth=1.0 * GB, manual_delay=600.0)
+    assert link.duration_of(0) == STARTUP_SECONDS + 600.0
+
+
+def test_transfer_ledger(link):
+    link.transfer("configs", "rivanna", "bridges", 2 * GB)
+    link.transfer("summary", "bridges", "rivanna", 5 * GB)
+    assert link.bytes_moved() == 7 * GB
+    assert link.bytes_moved(src="rivanna") == 2 * GB
+    assert link.bytes_moved(src="bridges", dst="rivanna") == 5 * GB
+    assert len(link.records) == 2
+
+
+def test_transfer_validation(link):
+    with pytest.raises(ValueError, match="unknown endpoint"):
+        link.transfer("x", "rivanna", "elsewhere", 1)
+    with pytest.raises(ValueError, match="differ"):
+        link.transfer("x", "rivanna", "rivanna", 1)
+    with pytest.raises(ValueError, match="non-negative"):
+        link.duration_of(-1)
+
+
+def test_record_timing(link):
+    rec = link.transfer("x", "rivanna", "bridges", GB, now=100.0)
+    assert rec.started_at == 100.0
+    assert rec.finished_at == pytest.approx(100.0 + STARTUP_SECONDS + 1.0)
+
+
+def test_summary_renders(link):
+    link.transfer("x", "rivanna", "bridges", 3 * GB)
+    text = link.summary()
+    assert "rivanna -> bridges: 3.0GB" in text
+
+
+def test_table_ii_ranges_sane():
+    lo, hi = TABLE_II_SIZES["daily_configurations"]
+    assert lo == 100 * MB and hi == pytest.approx(8.7 * GB)
+    lo, hi = TABLE_II_SIZES["raw_outputs"]
+    assert lo == 20 * GB and hi == pytest.approx(3.5 * TB)
+    assert TABLE_II_SIZES["traits_and_networks"] == (2 * TB, 2 * TB)
+
+
+def test_one_time_staging_fits_a_day(link):
+    """The 2TB one-time staging takes hours, not days, at 10 Gbit/s."""
+    hours = link.duration_of(2 * TB) / 3600
+    assert 0.3 < hours < 24

@@ -1,0 +1,94 @@
+"""Population-database (connection cap) tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.popdb import (
+    ConnectionLimitExceeded,
+    DatabaseFleet,
+    PopulationDatabase,
+)
+from repro.synthpop.persons import generate_population
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return generate_population("VT", scale=1e-3, seed=1)
+
+
+def test_connection_cap_enforced(pop):
+    db = PopulationDatabase(pop, max_connections=2)
+    c1 = db.connect("t1")
+    c2 = db.connect("t2")
+    with pytest.raises(ConnectionLimitExceeded):
+        db.connect("t3")
+    c1.close()
+    c3 = db.connect("t3")  # slot freed
+    assert db.active_connections == 2
+    c2.close()
+    c3.close()
+
+
+def test_peak_connection_tracking(pop):
+    db = PopulationDatabase(pop, max_connections=5)
+    conns = [db.connect(f"t{i}") for i in range(4)]
+    for c in conns:
+        c.close()
+    assert db.peak_connections == 4
+    assert db.active_connections == 0
+
+
+def test_context_manager(pop):
+    db = PopulationDatabase(pop, max_connections=1)
+    with db.connect("t") as conn:
+        assert db.active_connections == 1
+        out = db.query_traits(conn, np.array([0, 1]))
+        assert set(out) == {"hid", "age", "age_group", "gender", "county"}
+    assert db.active_connections == 0
+
+
+def test_query_on_closed_connection(pop):
+    db = PopulationDatabase(pop)
+    conn = db.connect("t")
+    conn.close()
+    with pytest.raises(RuntimeError):
+        db.query_traits(conn, np.array([0]))
+
+
+def test_query_county_members(pop):
+    db = PopulationDatabase(pop)
+    with db.connect("t") as conn:
+        county = int(pop.county[0])
+        members = db.query_county_members(conn, county)
+        assert 0 in members.tolist() or (pop.county == county).sum() > 0
+        assert (pop.county[members] == county).all()
+
+
+def test_snapshot_startup_faster_than_cold(pop):
+    snap = PopulationDatabase(pop, from_snapshot=True)
+    cold = PopulationDatabase(pop, from_snapshot=False)
+    assert snap.startup_seconds <= cold.startup_seconds
+
+
+def test_query_counting(pop):
+    db = PopulationDatabase(pop)
+    with db.connect("t") as conn:
+        db.query_traits(conn, np.array([0]))
+        db.query_traits(conn, np.array([1]))
+    assert db.total_queries == 2
+
+
+def test_invalid_cap(pop):
+    with pytest.raises(ValueError):
+        PopulationDatabase(pop, max_connections=0)
+
+
+def test_fleet(pop):
+    fleet = DatabaseFleet()
+    fleet.add(PopulationDatabase(pop, max_connections=3))
+    assert fleet.nodes_used == 1
+    assert fleet.max_parallel_tasks("VT") == 3
+    conn = fleet.connect("VT", "task")
+    conn.close()
+    with pytest.raises(ValueError, match="duplicate"):
+        fleet.add(PopulationDatabase(pop))

@@ -1,0 +1,83 @@
+"""Experiment-design tests (Table I scale checks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.designs import (
+    Cell,
+    ExperimentDesign,
+    calibration_design,
+    case_study_space,
+    economic_design,
+    factorial_cells,
+    lhs_cells,
+    prediction_design,
+)
+
+
+def test_economic_design_matches_table_i():
+    d = economic_design()
+    assert d.n_cells == 12  # 2 x 3 x 2
+    assert d.n_regions == 51
+    assert d.replicates == 15
+    assert d.n_simulations == 9180
+
+
+def test_prediction_design_matches_table_i():
+    d = prediction_design()
+    assert d.n_cells == 12  # 3 x 4
+    assert d.n_simulations == 9180
+
+
+def test_calibration_design_matches_table_i():
+    d = calibration_design(seed=0)
+    assert d.n_cells == 300
+    assert d.replicates == 1
+    assert d.n_simulations == 15300
+
+
+def test_factorial_cells_expand():
+    cells = factorial_cells({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(cells) == 6
+    combos = {(c.params["a"], c.params["b"]) for c in cells}
+    assert len(combos) == 6
+    assert cells[0].index == 0
+
+
+def test_factorial_requires_factors():
+    with pytest.raises(ValueError):
+        factorial_cells({})
+
+
+def test_lhs_cells_within_space():
+    space = case_study_space()
+    cells = lhs_cells(space, 20, np.random.default_rng(0))
+    assert len(cells) == 20
+    for c in cells:
+        for k, name in enumerate(space.names):
+            assert space.lower[k] <= c.params[name] <= space.upper[k]
+
+
+def test_case_study_space_names():
+    space = case_study_space()
+    assert space.names == ("TAU", "SYMP", "SH_COMPLIANCE", "VHI_COMPLIANCE")
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        ExperimentDesign("x", ())
+    with pytest.raises(ValueError):
+        ExperimentDesign("x", (Cell(0),), replicates=0)
+
+
+def test_instances_iteration():
+    d = ExperimentDesign("x", (Cell(0), Cell(1)), ("VA", "MD"), 3)
+    instances = list(d.instances())
+    assert len(instances) == d.n_simulations == 12
+    cell, region, rep = instances[0]
+    assert cell.index == 0 and region == "VA" and rep == 0
+
+
+def test_cell_label():
+    c = Cell(3, {"b": 2, "a": 1})
+    assert c.label() == "cell3[a=1,b=2]"

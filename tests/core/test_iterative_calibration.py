@@ -1,0 +1,47 @@
+"""Iterative (sequential-design) calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration_wf import run_iterative_calibration
+
+
+@pytest.fixture(scope="module")
+def rounds():
+    return run_iterative_calibration(
+        "VT", n_rounds=2, n_cells=12, n_days=50, scale=1e-3, seed=5,
+        mcmc_samples=250, mcmc_burn_in=250)
+
+
+def test_round_count(rounds):
+    assert len(rounds) == 2
+
+
+def test_training_set_grows(rounds):
+    first, second = rounds
+    assert second.prior_design.shape[0] > first.prior_design.shape[0]
+    assert second.sim_series.shape[0] == second.prior_design.shape[0]
+
+
+def test_second_round_includes_first(rounds):
+    first, second = rounds
+    np.testing.assert_allclose(
+        second.prior_design[: first.prior_design.shape[0]],
+        first.prior_design)
+
+
+def test_augmentation_from_posterior(rounds):
+    """Round-2 additions are drawn from round 1's posterior support."""
+    first, second = rounds
+    extra = second.prior_design[first.prior_design.shape[0]:]
+    assert first.space.contains(extra).all()
+
+
+def test_posteriors_stay_in_space(rounds):
+    for r in rounds:
+        assert r.space.contains(r.posterior.theta_samples).all()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_iterative_calibration("VT", n_rounds=0)

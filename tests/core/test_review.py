@@ -1,0 +1,89 @@
+"""Prediction-review (Figure 5 feedback loop) tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.ensembles import ensemble_band
+from repro.core.prediction_wf import PredictionWorkflowResult
+from repro.core.review import (
+    calibrate_predict_review_loop,
+    review_prediction,
+)
+
+
+def make_prediction(history, ensemble):
+    ensemble = np.asarray(ensemble, dtype=np.float64)
+    return PredictionWorkflowResult(
+        region_code="VT",
+        horizon=ensemble.shape[1] - history.shape[0],
+        confirmed_ensemble=ensemble,
+        confirmed_band=ensemble_band(ensemble),
+        target_bands={},
+        history=np.asarray(history, dtype=np.float64),
+        what_if=("as-is",) * ensemble.shape[0],
+    )
+
+
+def smooth_case():
+    history = np.linspace(0, 100, 31)
+    rng = np.random.default_rng(0)
+    members = []
+    for _ in range(20):
+        future = history[-1] + np.cumsum(rng.uniform(2, 4, 30))
+        members.append(np.concatenate([history, future]))
+    return make_prediction(history, np.vstack(members))
+
+
+def test_accepts_consistent_forecast():
+    outcome = review_prediction(smooth_case())
+    assert outcome.accepted, outcome.report()
+    assert not outcome.failures
+
+
+def test_rejects_discontinuous_forecast():
+    history = np.linspace(0, 100, 31)
+    members = [np.concatenate([history, np.full(30, 500.0)])
+               for _ in range(5)]
+    outcome = review_prediction(make_prediction(history, members))
+    assert not outcome.accepted
+    assert any(f.check == "continuity" for f in outcome.failures)
+
+
+def test_rejects_trend_explosion():
+    history = np.linspace(0, 100, 31)
+    rng = np.random.default_rng(1)
+    members = []
+    for _ in range(10):
+        # Join smoothly, then grow 20x faster than history.
+        future = history[-1] + np.cumsum(
+            rng.uniform(60, 70, 30))
+        members.append(np.concatenate([history, future]))
+    outcome = review_prediction(make_prediction(history, members))
+    assert not outcome.accepted
+    assert any(f.check == "trend-consistency" for f in outcome.failures)
+
+
+def test_rejects_degenerate_ensemble():
+    history = np.linspace(0, 100, 31)
+    member = np.concatenate([history, history[-1] + np.arange(1, 31) * 3.0])
+    members = [member.copy() for _ in range(8)]
+    outcome = review_prediction(make_prediction(history, members))
+    assert any(f.check == "band-sanity" for f in outcome.failures)
+
+
+def test_report_renders():
+    outcome = review_prediction(smooth_case())
+    text = outcome.report()
+    assert "ACCEPT" in text
+    assert "continuity" in text
+
+
+def test_full_loop_runs():
+    prediction, outcome, iterations = calibrate_predict_review_loop(
+        "VT", max_iterations=2, n_cells=10, n_days=50, horizon=21,
+        scale=1e-3, seed=7)
+    assert prediction is not None
+    assert outcome is not None
+    assert 1 <= iterations <= 2
+    # The loop returns a structurally valid prediction either way.
+    assert prediction.confirmed_band.n_days == 50 + 21 + 1

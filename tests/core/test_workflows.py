@@ -1,0 +1,105 @@
+"""Integration tests: calibration -> prediction handoff, economic workflow.
+
+These run the real workflows at miniature scale (tiny regions, few cells)
+to verify the end-to-end plumbing the paper's Figure 1 describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration_wf import run_calibration_workflow
+from repro.core.counterfactual_wf import run_economic_workflow
+from repro.core.prediction_wf import (
+    run_prediction_workflow,
+    what_if_expansion,
+)
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return run_calibration_workflow(
+        "VT", n_cells=15, n_days=60, scale=1e-3, seed=3,
+        mcmc_samples=300, mcmc_burn_in=300)
+
+
+def test_calibration_outputs(calibration):
+    assert calibration.prior_design.shape == (15, 4)
+    assert calibration.sim_series.shape == (15, 61)
+    assert calibration.observed.shape == (61,)
+    assert calibration.posterior.theta_samples.shape[1] == 4
+
+
+def test_posterior_within_prior_ranges(calibration):
+    space = calibration.space
+    assert space.contains(calibration.posterior.theta_samples).all()
+
+
+def test_posterior_configurations_dicts(calibration):
+    rng = np.random.default_rng(0)
+    configs = calibration.posterior_configurations(5, rng)
+    assert len(configs) == 5
+    assert set(configs[0]) == {"TAU", "SYMP", "SH_COMPLIANCE",
+                               "VHI_COMPLIANCE"}
+
+
+def test_prediction_workflow(calibration):
+    pred = run_prediction_workflow(
+        calibration, n_configurations=3, replicates=2, horizon=14, seed=4)
+    assert pred.n_members == 6
+    total = calibration.observed.shape[0] - 1 + 14 + 1
+    assert pred.confirmed_ensemble.shape == (6, total)
+    assert pred.confirmed_band.median.shape == (total,)
+    assert set(pred.target_bands) >= {"confirmed", "deaths"}
+    assert pred.what_if == ("as-is",) * 6
+
+
+def test_prediction_with_what_if(calibration):
+    pred = run_prediction_workflow(
+        calibration, n_configurations=1, replicates=1, horizon=7,
+        reopen_levels=(0.25, 0.75), tracing_compliances=(0.5,), seed=5)
+    assert pred.n_members == 2
+    assert "RO=0.25+CT=0.5" in pred.what_if
+
+
+def test_what_if_expansion_shapes():
+    base = {"TAU": 0.2}
+    assert what_if_expansion(base) == [("as-is", {"TAU": 0.2})]
+    expanded = what_if_expansion(base, reopen_levels=(0.25, 0.5),
+                                 tracing_compliances=(0.3, 0.6))
+    assert len(expanded) == 4
+    labels = [lbl for lbl, _ in expanded]
+    assert "RO=0.25+CT=0.3" in labels
+    # Base params untouched.
+    assert base == {"TAU": 0.2}
+
+
+def test_economic_workflow_small():
+    from repro.core.designs import ExperimentDesign, factorial_cells
+
+    cells = factorial_cells({
+        "vhi_compliance": [0.3, 0.9],
+        "sh_compliance": [0.3, 0.9],
+    })
+    design = ExperimentDesign("economic", cells, ("VT",), 2)
+    result = run_economic_workflow(
+        regions=("VT",), design=design, n_days=70, scale=1e-3, seed=6)
+    assert len(result.outcomes) == 4
+    for o in result.outcomes:
+        assert o.total_cost >= 0
+        assert 0.0 <= o.mean_attack_rate <= 1.0
+    assert result.cheapest().total_cost <= result.most_expensive().total_cost
+    table = result.cost_table()
+    assert "vhi_compliance" in table
+
+
+def test_economic_costs_scale_with_epidemic():
+    """Scenarios with bigger outbreaks cost more."""
+    from repro.core.designs import ExperimentDesign, factorial_cells
+
+    cells = factorial_cells({"TAU": [0.03, 0.5]})
+    design = ExperimentDesign("economic", cells, ("VT",), 3)
+    result = run_economic_workflow(
+        regions=("VT",), design=design, n_days=80, scale=1e-3, seed=7)
+    by_tau = {o.cell.params["TAU"]: o for o in result.outcomes}
+    assert by_tau[0.5].mean_attack_rate > by_tau[0.03].mean_attack_rate
+    assert by_tau[0.5].total_cost > by_tau[0.03].total_cost

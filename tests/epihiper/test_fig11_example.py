@@ -1,0 +1,122 @@
+"""Figure 11: the paper's worked 5-person propagation example.
+
+"The small network represents daily contacts between five people in a
+workplace or a school classroom ...  Infections start from A, which in one
+scenario infects B and E, in another scenario infects B only ...  while C
+decides to get vaccinated and avoids being infected."
+
+We rebuild that 5-node network and verify the framework exhibits each of
+the paper's three trajectory ingredients: stochastic spread variation
+across seeds, isolation cutting a chain, and vaccination protecting a node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.epihiper import Simulation, build_covid_model
+from repro.epihiper.npi import make_vaccination
+from repro.synthpop.contacts import ContactNetwork
+from repro.synthpop.persons import Population
+
+A, B, C, D, E = range(5)
+
+
+def five_person_population() -> Population:
+    n = 5
+    return Population(
+        region_code="XX",
+        pid=np.arange(n, dtype=np.int64),
+        hid=np.arange(n, dtype=np.int64),
+        age=np.full(n, 30, dtype=np.int16),
+        age_group=np.full(n, 2, dtype=np.int8),
+        gender=np.zeros(n, dtype=np.int8),
+        county=np.full(n, 1001, dtype=np.int32),
+        home_lat=np.zeros(n, dtype=np.float32),
+        home_lon=np.zeros(n, dtype=np.float32),
+    )
+
+
+def classroom_network() -> ContactNetwork:
+    # The Figure 11 contact pattern: A-B, A-E, B-D, B-E, C-D.
+    pairs = [(A, B), (A, E), (B, D), (B, E), (C, D)]
+    src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+    tgt = np.asarray([p[1] for p in pairs], dtype=np.int64)
+    m = len(pairs)
+    return ContactNetwork(
+        region_code="XX",
+        n_nodes=5,
+        source=src,
+        target=tgt,
+        start=np.full(m, 9 * 60, np.int32),
+        duration=np.full(m, 8 * 60, np.int32),  # long contact: work day
+        source_activity=np.ones(m, np.int8),  # work context
+        target_activity=np.ones(m, np.int8),
+        weight=np.ones(m, np.float32),
+    )
+
+
+@pytest.fixture()
+def model():
+    return build_covid_model(transmissibility=2.0)  # small-net dynamics
+
+
+def run_from_a(model, interventions=None, seed=0, days=40):
+    sim = Simulation(model, five_person_population(), classroom_network(),
+                     seed=seed, interventions=interventions or [])
+    sim.seed_infections(np.array([A]))
+    return sim.run(days)
+
+
+def infected_set(result, model):
+    exposed = model.code("Exposed")
+    return set(result.log.pid[result.log.state == exposed].tolist())
+
+
+def test_trajectories_vary_across_seeds(model):
+    """The three Figure 11 trajectories: different random seeds give
+    different outbreak sets from the same initial condition."""
+    outcomes = {frozenset(infected_set(run_from_a(model, seed=s), model))
+                for s in range(12)}
+    assert len(outcomes) >= 2  # genuinely stochastic
+    # A is always infected; the full cascade happens for some seed.
+    assert all(A in o for o in outcomes)
+    assert any(len(o) >= 4 for o in outcomes)
+
+
+def test_infection_spreads_only_along_edges(model):
+    """C has no edge to A/B/E: if C is infected, D must be too (the only
+    path to C runs through D)."""
+    for s in range(12):
+        infected = infected_set(run_from_a(model, seed=s), model)
+        if C in infected:
+            assert D in infected
+
+
+def test_vaccination_protects_c(model):
+    """'C decides to get vaccinated and avoids being infected.'"""
+    sim = Simulation(model, five_person_population(), classroom_network(),
+                     seed=3)
+    sim.node_susceptibility[C] = 0.0  # C's vaccination
+    sim.seed_infections(np.array([A]))
+    result = sim.run(40)
+    assert C not in infected_set(result, model)
+
+
+def test_isolation_cuts_the_chain(model):
+    """'D ... chooses to go home for isolation (so avoids transmitting the
+    disease to C).'"""
+    outcomes = []
+    for s in range(20):
+        sim = Simulation(model, five_person_population(),
+                         classroom_network(), seed=s)
+        # Isolate D from the start: suppress D's edges except home ones
+        # (all edges here are work context, so all of D's edges go).
+        d_edges = sim.incident.edges_of(np.array([D]))
+        sim.suppressor.suppress(d_edges)
+        sim.seed_infections(np.array([A]))
+        result = sim.run(40)
+        outcomes.append(infected_set(result, model))
+    # D never gets infected (isolated), so C never does either.
+    for infected in outcomes:
+        assert D not in infected
+        assert C not in infected

@@ -1,0 +1,79 @@
+"""Dwell-time distribution and health-state tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.epihiper.states import (
+    DiscreteDwell,
+    FixedDwell,
+    HealthState,
+    NormalDwell,
+)
+
+
+def test_health_state_flags():
+    s = HealthState("Symptomatic", infectivity=1.0, symptomatic=True)
+    assert s.infectious and not s.susceptible
+    sus = HealthState("Susceptible", susceptibility=1.0)
+    assert sus.susceptible and not sus.infectious
+
+
+def test_fixed_dwell_sample_and_mean():
+    d = FixedDwell(3)
+    rng = np.random.default_rng(0)
+    out = d.sample(100, rng)
+    assert (out == 3).all()
+    assert d.mean() == 3.0
+
+
+def test_fixed_dwell_rejects_zero():
+    with pytest.raises(ValueError):
+        FixedDwell(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mu=st.floats(0.5, 20.0), sd=st.floats(0.0, 5.0),
+       seed=st.integers(0, 2**31))
+def test_normal_dwell_always_at_least_one(mu, sd, seed):
+    d = NormalDwell(mu, sd)
+    out = d.sample(200, np.random.default_rng(seed))
+    assert out.dtype == np.int32
+    assert out.min() >= 1
+
+
+def test_normal_dwell_mean_close():
+    d = NormalDwell(5.0, 1.0)
+    out = d.sample(20_000, np.random.default_rng(1))
+    assert abs(out.mean() - 5.0) < 0.1
+
+
+def test_normal_dwell_rejects_negative_sd():
+    with pytest.raises(ValueError):
+        NormalDwell(5.0, -1.0)
+
+
+def test_discrete_dwell_distribution():
+    d = DiscreteDwell(days=(1, 2, 3), probs=(0.5, 0.3, 0.2))
+    out = d.sample(30_000, np.random.default_rng(2))
+    assert set(np.unique(out)) <= {1, 2, 3}
+    assert abs((out == 1).mean() - 0.5) < 0.02
+    assert abs(d.mean() - 1.7) < 1e-9
+
+
+def test_discrete_dwell_validation():
+    with pytest.raises(ValueError, match="sum to 1"):
+        DiscreteDwell(days=(1, 2), probs=(0.5, 0.6))
+    with pytest.raises(ValueError, match=">= 1"):
+        DiscreteDwell(days=(0, 1), probs=(0.5, 0.5))
+    with pytest.raises(ValueError, match="equal-length"):
+        DiscreteDwell(days=(1, 2), probs=(1.0,))
+
+
+def test_table_iii_sympt_attd_distribution():
+    """The Table III dt-discrete row for Symptomatic -> Attended."""
+    from repro.epihiper.covid import _SYMPT_ATTD_DWELL as d
+    assert d.days == tuple(range(1, 11))
+    assert abs(sum(d.probs) - 1.0) < 1e-12
+    assert d.probs[0] == d.probs[1] == 0.175

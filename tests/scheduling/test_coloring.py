@@ -1,0 +1,98 @@
+"""r-relaxed coloring tests."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.coloring import (
+    clique_colors_needed,
+    colors_to_waves,
+    greedy_relaxed_coloring,
+    region_conflict_graph,
+    schedule_waves_makespan,
+    validate_relaxed_coloring,
+)
+
+
+def test_r1_is_proper_coloring():
+    g = nx.cycle_graph(5)
+    colors = greedy_relaxed_coloring(g, r=1)
+    assert validate_relaxed_coloring(g, colors, 1)
+    for u, v in g.edges:
+        assert colors[u] != colors[v]
+
+
+def test_relaxation_uses_fewer_colors():
+    g = nx.complete_graph(9)
+    strict = greedy_relaxed_coloring(g, r=1)
+    relaxed = greedy_relaxed_coloring(g, r=3)
+    assert len(set(relaxed.values())) < len(set(strict.values()))
+    assert validate_relaxed_coloring(g, relaxed, 3)
+
+
+def test_clique_color_count_formula():
+    assert clique_colors_needed(9, 3) == 3
+    assert clique_colors_needed(10, 3) == 4
+    assert clique_colors_needed(5, 1) == 5
+    assert clique_colors_needed(0, 2) == 0
+    with pytest.raises(ValueError):
+        clique_colors_needed(3, 0)
+
+
+def test_greedy_optimal_on_cliques():
+    """On a clique (the paper's per-region conflict graph) greedy achieves
+    the ceil(n/r) optimum."""
+    g = nx.complete_graph(10)
+    colors = greedy_relaxed_coloring(g, r=3)
+    assert len(set(colors.values())) == clique_colors_needed(10, 3)
+    assert validate_relaxed_coloring(g, colors, 3)
+
+
+def test_validate_rejects_bad_coloring():
+    g = nx.complete_graph(4)
+    colors = {n: 0 for n in g.nodes}
+    assert not validate_relaxed_coloring(g, colors, 2)
+    assert validate_relaxed_coloring(g, colors, 4)
+
+
+def test_region_conflict_graph_structure():
+    g = region_conflict_graph({"VA": 3, "MD": 2})
+    assert g.number_of_nodes() == 5
+    # Cliques within regions, no edges across.
+    assert g.has_edge(("VA", 0), ("VA", 1))
+    assert not g.has_edge(("VA", 0), ("MD", 0))
+    assert g.number_of_edges() == 3 + 1
+
+
+def test_region_decomposition_coloring():
+    g = region_conflict_graph({"VA": 6, "MD": 4})
+    colors = greedy_relaxed_coloring(g, r=2)
+    assert validate_relaxed_coloring(g, colors, 2)
+    assert len(set(colors.values())) == clique_colors_needed(6, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    p=st.floats(0.05, 0.9),
+    r=st.integers(1, 4),
+    seed=st.integers(0, 2**31),
+)
+def test_property_greedy_always_valid(n, p, r, seed):
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    colors = greedy_relaxed_coloring(g, r)
+    assert set(colors) == set(g.nodes)
+    assert validate_relaxed_coloring(g, colors, r)
+
+
+def test_waves_and_makespan():
+    g = region_conflict_graph({"VA": 4})
+    colors = greedy_relaxed_coloring(g, r=2)
+    waves = colors_to_waves(colors)
+    assert sum(len(w) for w in waves) == 4
+    times = {node: 10.0 for node in g.nodes}
+    nodes = {node: 2 for node in g.nodes}
+    makespan = schedule_waves_makespan(
+        waves, times, machine_width=8, task_nodes=nodes)
+    assert makespan == pytest.approx(10.0 * len(waves))

@@ -1,0 +1,89 @@
+"""Utilization-experiment tests (the Figure 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.categories import (
+    category_name,
+    category_table,
+    node_category,
+)
+from repro.scheduling.levels import pack_ffdt_dc, pack_nfdt_dc
+from repro.scheduling.metrics import (
+    execute_packing,
+    jobs_from_packing,
+    median_utilization,
+    utilization_cdf,
+    utilization_experiment,
+)
+from repro.scheduling.wmp import make_nightly_instance
+
+
+def test_categories_cover_paper_sizes():
+    assert node_category("WY") == 2
+    assert node_category("CA") == 6
+    assert node_category("NY") == 4
+    table = category_table()
+    assert sum(len(v) for v in table.values()) == 51
+    assert len(table["small"]) > len(table["large"])
+    assert category_name(4) == "medium"
+
+
+def test_jobs_from_packing_preserves_tasks():
+    inst = make_nightly_instance(cells_per_region=2, replicates=2,
+                                 regions=("VA", "MD"), seed=0)
+    packed = pack_ffdt_dc(inst)
+    jobs = jobs_from_packing(packed)
+    assert len(jobs) == len(inst.tasks)
+    assert {j.job_id for j in jobs} == {t.task_id for t in inst.tasks}
+
+
+def test_execute_packing_respects_caps():
+    inst = make_nightly_instance(cells_per_region=4, replicates=3,
+                                 regions=("VA", "MD", "CA"), db_cap=2,
+                                 machine_width=40, seed=1)
+    out = execute_packing(pack_ffdt_dc(inst))
+    out.validate_no_overlap_violation(40, inst.db_caps)
+    assert max(out.peak_region_concurrency.values()) <= 2
+
+
+def test_ffdt_beats_nfdt_utilization():
+    """The Figure 9 headline: FFDT-DC utilization far exceeds NFDT-DC."""
+    samples = utilization_experiment(
+        n_nights=2, cells_per_region=4, replicates=4, seed=0)
+    ffdt = median_utilization(samples, "FFDT-DC")
+    nfdt = median_utilization(samples, "NFDT-DC")
+    assert ffdt > nfdt
+    assert ffdt > 0.85
+
+
+def test_va_only_high_utilization():
+    """Figure 9 right: single-region nights on right-sized allocations
+    still reach very high utilization."""
+    samples = utilization_experiment(
+        n_nights=2, regions=("VA",), cells_per_region=20, replicates=6,
+        machine_width=16, db_cap=48, seed=1)
+    assert median_utilization(samples, "FFDT-DC") > 0.9
+
+
+def test_utilization_cdf():
+    x, f = utilization_cdf([0.5, 0.9, 0.7])
+    np.testing.assert_allclose(x, [0.5, 0.7, 0.9])
+    np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+
+
+def test_median_requires_samples():
+    with pytest.raises(ValueError):
+        median_utilization([], "FFDT-DC")
+
+
+def test_each_night_same_tasks_different_draws():
+    samples = utilization_experiment(
+        n_nights=2, cells_per_region=2, replicates=2,
+        regions=("VA",), machine_width=16, db_cap=8, seed=3)
+    by_algo_night = {(s.algorithm, s.night): s for s in samples}
+    assert (by_algo_night[("FFDT-DC", 0)].n_jobs
+            == by_algo_night[("NFDT-DC", 0)].n_jobs)
+    # Different nights draw different runtimes -> different makespans.
+    assert (by_algo_night[("FFDT-DC", 0)].makespan_hours
+            != by_algo_night[("FFDT-DC", 1)].makespan_hours)

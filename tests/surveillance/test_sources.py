@@ -1,0 +1,84 @@
+"""Multi-source distortion and merging tests."""
+
+import numpy as np
+import pytest
+
+from repro.surveillance.sources import (
+    DEFAULT_SOURCES,
+    JHU,
+    NYT,
+    SourceSpec,
+    merge_sources,
+    multi_source_truth,
+    observe_through_source,
+)
+from repro.surveillance.truth import generate_region_truth
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return generate_region_truth("VA", n_days=150, seed=2)
+
+
+def test_source_view_preserves_shape(truth):
+    rng = np.random.default_rng(0)
+    view = observe_through_source(truth, NYT, rng)
+    assert view.daily.shape == truth.daily.shape
+
+
+def test_revision_lag_zeroes_tail(truth):
+    rng = np.random.default_rng(0)
+    view = observe_through_source(truth, JHU, rng)
+    assert (view.daily[:, -JHU.revision_lag:] == 0).all()
+
+
+def test_dropout_removes_counties(truth):
+    rng = np.random.default_rng(1)
+    spec = SourceSpec("lossy", revision_lag=0, dropout=0.5,
+                      dump_probability=0.0)
+    view = observe_through_source(truth, spec, rng)
+    missing = (view.cumulative[:, -1] == 0) & (truth.cumulative[:, -1] > 0)
+    assert missing.sum() > truth.n_counties * 0.25
+
+
+def test_dump_conserves_totals(truth):
+    rng = np.random.default_rng(2)
+    spec = SourceSpec("dumpy", revision_lag=0, dropout=0.0,
+                      dump_probability=0.3)
+    view = observe_through_source(truth, spec, rng)
+    np.testing.assert_allclose(
+        view.cumulative[:, -1], truth.cumulative[:, -1])
+
+
+def test_merge_at_least_each_source(truth):
+    rng = np.random.default_rng(3)
+    views = [observe_through_source(truth, s, rng) for s in DEFAULT_SOURCES]
+    merged = merge_sources(views)
+    for v in views:
+        assert (merged.cumulative >= v.cumulative - 1e-9).all()
+
+
+def test_merge_monotone(truth):
+    rng = np.random.default_rng(4)
+    merged = multi_source_truth(truth, rng)
+    assert (np.diff(merged.cumulative, axis=1) >= -1e-9).all()
+
+
+def test_merge_recovers_full_total(truth):
+    """With at least one lossless-total source, the merge recovers the
+    true final cumulative count."""
+    rng = np.random.default_rng(5)
+    merged = multi_source_truth(truth, rng)
+    np.testing.assert_allclose(
+        merged.state_cumulative()[-1], truth.state_cumulative()[-1])
+
+
+def test_merge_rejects_empty():
+    with pytest.raises(ValueError):
+        merge_sources([])
+
+
+def test_merge_rejects_mismatched(truth):
+    other = generate_region_truth("MD", n_days=150, seed=2)
+    with pytest.raises(ValueError, match="disagree"):
+        merge_sources([truth, other])

@@ -1,0 +1,97 @@
+"""Binary network format and partition chunk tests."""
+
+import numpy as np
+import pytest
+
+from repro.epihiper.partition import partition_threshold
+from repro.synthpop.binfmt import (
+    EDGE_DTYPE,
+    read_network_binary,
+    read_partition_chunks,
+    write_network_binary,
+    write_partition_chunks,
+)
+from repro.synthpop.contacts import build_region_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    _pop, net = build_region_network("VT", scale=1e-3, seed=11)
+    return net
+
+
+def test_roundtrip(tmp_path, net):
+    path = tmp_path / "vt.ephn"
+    n = write_network_binary(net, path)
+    assert n == path.stat().st_size
+    back = read_network_binary(path, "VT")
+    np.testing.assert_array_equal(back.source, net.source)
+    np.testing.assert_array_equal(back.target, net.target)
+    np.testing.assert_array_equal(back.duration, net.duration)
+    np.testing.assert_array_equal(back.source_activity, net.source_activity)
+    np.testing.assert_allclose(back.weight, net.weight)
+    np.testing.assert_array_equal(back.active, net.active)
+    assert back.n_nodes == net.n_nodes
+
+
+def test_binary_smaller_than_csv(tmp_path, net):
+    from repro.synthpop.io import write_network_csv
+
+    bin_path = tmp_path / "net.ephn"
+    csv_path = tmp_path / "net.csv"
+    write_network_binary(net, bin_path)
+    write_network_csv(net, csv_path)
+    assert bin_path.stat().st_size < csv_path.stat().st_size
+
+
+def test_rejects_bad_magic(tmp_path):
+    path = tmp_path / "junk.ephn"
+    path.write_bytes(b"NOPE" + b"\x00" * 100)
+    with pytest.raises(ValueError, match="EPHN"):
+        read_network_binary(path, "VT")
+
+
+def test_rejects_truncation(tmp_path, net):
+    path = tmp_path / "trunc.ephn"
+    write_network_binary(net, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(ValueError, match="truncated"):
+        read_network_binary(path, "VT")
+
+
+def test_rejects_short_file(tmp_path):
+    path = tmp_path / "short.ephn"
+    path.write_bytes(b"EP")
+    with pytest.raises(ValueError, match="too short"):
+        read_network_binary(path, "VT")
+
+
+def test_partition_chunks_roundtrip(tmp_path, net):
+    part = partition_threshold(net, 4)
+    paths = write_partition_chunks(net, part, tmp_path)
+    assert len(paths) == 4
+    back = read_partition_chunks(paths, net.n_nodes, "VT")
+    assert back.n_edges == net.n_edges
+    # Chunks hold exactly the rank-owned edges.
+    chunk0 = read_network_binary(paths[0], "VT")
+    assert chunk0.n_edges == int(part.edge_counts()[0])
+    # Reassembly covers the same edge multiset.
+    key = lambda n: np.sort(n.source * net.n_nodes + n.target)
+    np.testing.assert_array_equal(key(back), key(net))
+
+
+def test_partition_chunks_validation(tmp_path, net):
+    from repro.synthpop.contacts import build_region_network
+
+    _pop2, other = build_region_network("VA", scale=1e-3, seed=11)
+    part = partition_threshold(other, 4)
+    with pytest.raises(ValueError, match="match"):
+        write_partition_chunks(net, part, tmp_path)
+    with pytest.raises(ValueError, match="chunk"):
+        read_partition_chunks([], 10, "VT")
+
+
+def test_edge_record_size():
+    # The packed record stays compact (the format's reason to exist).
+    assert EDGE_DTYPE.itemsize <= 40

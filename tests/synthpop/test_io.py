@@ -1,0 +1,62 @@
+"""CSV round-trip tests for the paper's input formats."""
+
+import numpy as np
+
+from repro.synthpop.contacts import build_region_network
+from repro.synthpop.io import (
+    read_network_csv,
+    read_persons_csv,
+    write_network_csv,
+    write_persons_csv,
+)
+
+
+def test_persons_roundtrip(tmp_path):
+    pop, _net = build_region_network("VT", scale=1e-3, seed=9)
+    path = tmp_path / "persons.csv"
+    n = write_persons_csv(pop, path)
+    assert n == pop.size
+    back = read_persons_csv(path, "VT")
+    np.testing.assert_array_equal(back.pid, pop.pid)
+    np.testing.assert_array_equal(back.hid, pop.hid)
+    np.testing.assert_array_equal(back.age, pop.age)
+    np.testing.assert_array_equal(back.age_group, pop.age_group)
+    np.testing.assert_array_equal(back.gender, pop.gender)
+    np.testing.assert_array_equal(back.county, pop.county)
+    np.testing.assert_allclose(back.home_lat, pop.home_lat, atol=1e-5)
+
+
+def test_network_roundtrip(tmp_path):
+    pop, net = build_region_network("VT", scale=1e-3, seed=9)
+    path = tmp_path / "edges.csv"
+    m = write_network_csv(net, path)
+    assert m == net.n_edges
+    back = read_network_csv(path, pop.size, "VT")
+    np.testing.assert_array_equal(back.source, net.source)
+    np.testing.assert_array_equal(back.target, net.target)
+    np.testing.assert_array_equal(back.duration, net.duration)
+    np.testing.assert_array_equal(back.source_activity, net.source_activity)
+    np.testing.assert_array_equal(back.target_activity, net.target_activity)
+
+
+def test_persons_header_matches_paper_traits(tmp_path):
+    pop, _ = build_region_network("VT", scale=1e-3, seed=9)
+    path = tmp_path / "persons.csv"
+    write_persons_csv(pop, path)
+    header = path.read_text().splitlines()[0].split(",")
+    # Section III: household ID, age and age group, gender, county code,
+    # latitude and longitude of home locations.
+    for col in ("hid", "age", "age_group", "gender", "county",
+                "home_lat", "home_lon"):
+        assert col in header
+
+
+def test_network_header_matches_paper_fields(tmp_path):
+    pop, net = build_region_network("VT", scale=1e-3, seed=9)
+    path = tmp_path / "edges.csv"
+    write_network_csv(net, path)
+    header = path.read_text().splitlines()[0].split(",")
+    # Section III: two person ids, start time, duration, both contexts.
+    for col in ("source", "target", "start", "duration",
+                "source_activity", "target_activity"):
+        assert col in header

@@ -1,0 +1,70 @@
+"""Region metadata invariants."""
+
+import pytest
+
+from repro.synthpop.regions import (
+    ALL_CODES,
+    BY_POPULATION,
+    REGIONS,
+    county_fips,
+    get_region,
+    total_counties,
+    total_population,
+)
+
+
+def test_has_51_regions():
+    assert len(REGIONS) == 51  # 50 states + DC (Section I)
+
+
+def test_total_counties_is_3140():
+    assert total_counties() == 3140  # "3140 counties across the USA"
+
+
+def test_total_population_near_us_2019():
+    assert 320_000_000 < total_population() < 340_000_000
+
+
+def test_population_order_endpoints():
+    # Figure 6 x-axis: WY smallest ... CA largest; the exact interior order
+    # can differ slightly from the paper's synthetic node counts, so only
+    # the endpoints and the extreme groups are pinned.
+    assert BY_POPULATION[0] == "WY"
+    assert BY_POPULATION[-1] == "CA"
+    assert set(BY_POPULATION[:4]) == {"WY", "DC", "VT", "AK"}
+    assert set(BY_POPULATION[-4:]) == {"FL", "NY", "TX", "CA"}
+
+
+def test_all_codes_sorted():
+    assert list(ALL_CODES) == sorted(ALL_CODES)
+    assert len(ALL_CODES) == 51
+
+
+def test_get_region_case_insensitive():
+    assert get_region("va").code == "VA"
+    assert get_region("Va").name == "Virginia"
+
+
+def test_get_region_unknown_raises():
+    with pytest.raises(KeyError, match="ZZ"):
+        get_region("ZZ")
+
+
+def test_county_fips_are_state_prefixed_odd():
+    va = get_region("VA")
+    fips = county_fips(va)
+    assert len(fips) == va.counties == 133
+    assert all(f // 1000 == va.fips for f in fips)
+    assert all(f % 2 == 1 for f in fips)
+    assert len(set(fips)) == len(fips)
+
+
+def test_scaled_population_floor():
+    wy = get_region("WY")
+    assert wy.scaled_population(1e-9) == 50  # floor for tiny scales
+    assert wy.scaled_population(1e-3) == round(wy.population * 1e-3)
+
+
+def test_fips_unique():
+    fips = [r.fips for r in REGIONS.values()]
+    assert len(set(fips)) == len(fips)

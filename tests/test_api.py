@@ -1,0 +1,54 @@
+"""Public-API surface tests: everything documented imports cleanly."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.analytics",
+    "repro.calibration",
+    "repro.cluster",
+    "repro.core",
+    "repro.economics",
+    "repro.epihiper",
+    "repro.metapop",
+    "repro.scheduling",
+    "repro.surveillance",
+    "repro.synthpop",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    mod = importlib.import_module(name)
+    assert mod is not None
+
+
+@pytest.mark.parametrize("name", [n for n in SUBPACKAGES if n != "repro"])
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__")
+    for symbol in mod.__all__:
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_surface():
+    """The README quickstart's imports work as documented."""
+    from repro.synthpop import build_region_network
+    from repro.epihiper import Simulation, build_covid_model, uniform_seeds
+    from repro.analytics import summarize, target_series, CONFIRMED
+
+    pop, net = build_region_network("VT", scale=1e-3, seed=0)
+    model = build_covid_model()
+    sim = Simulation(model, pop, net, seed=0)
+    sim.seed_infections(uniform_seeds(pop, 5, sim.rng))
+    result = sim.run(10)
+    series = target_series(summarize(result, model), model, CONFIRMED)
+    assert series.shape == (11,)

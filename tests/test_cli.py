@@ -1,0 +1,62 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["simulate", "VT", "--days", "10"])
+    assert args.region == "VT"
+    assert args.days == 10
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "51" in out
+    assert "bridges" in out
+
+
+def test_synth_writes_csvs(tmp_path, capsys):
+    assert main(["synth", "VT", "--scale", "1e-3",
+                 "-o", str(tmp_path)]) == 0
+    assert (tmp_path / "vt_persons.csv").exists()
+    assert (tmp_path / "vt_network.csv").exists()
+    out = capsys.readouterr().out
+    assert "persons" in out
+
+
+def test_simulate(tmp_path, capsys):
+    csv = tmp_path / "series.csv"
+    assert main(["simulate", "VT", "--days", "30", "--tau", "0.3",
+                 "--csv", str(csv)]) == 0
+    out = capsys.readouterr().out
+    assert "attack" in out
+    lines = csv.read_text().splitlines()
+    assert lines[0] == "day,confirmed_cumulative,deaths_cumulative"
+    assert len(lines) == 32  # header + 31 days
+
+
+def test_simulate_with_interventions(capsys):
+    assert main(["simulate", "VT", "--days", "20",
+                 "--sh-compliance", "0.8", "--vhi-compliance", "0.5"]) == 0
+
+
+def test_night(capsys):
+    assert main(["night", "prediction"]) == 0
+    out = capsys.readouterr().out
+    assert "fits: True" in out
+
+
+def test_calibrate_small(capsys):
+    assert main(["calibrate", "VT", "--cells", "10", "--days", "40",
+                 "--samples", "100", "--burn-in", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "TAU" in out and "corr" in out
