@@ -1,0 +1,101 @@
+"""Transmission-kernel backend comparison across infectious prevalence.
+
+Times one tick of Eq. (1) candidate enumeration + sampling under the
+``dense``, ``frontier``, and ``auto`` backends on scaled state networks, at
+low / medium / high infectious prevalence.  The frontier kernel's payoff is
+the early-epidemic regime calibration sweeps live in: at 0.1% prevalence it
+must beat the dense scan by >= 3x on the largest network, while ``auto``
+must stay within 10% of the better fixed backend at every prevalence.
+All three backends are verified bit-identical on every timed configuration.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.epihiper import build_covid_model
+from repro.epihiper.interventions import IncidentEdges
+from repro.epihiper.transmission import transmission_step
+from repro.synthpop import build_region_network
+
+#: (region, scale): ~8.5k / ~34k / ~85k persons.
+NETWORKS = (("VA", 1e-3), ("VA", 4e-3), ("VA", 1e-2))
+PREVALENCES = (0.001, 0.05, 0.40)
+BACKENDS = ("dense", "frontier", "auto")
+REPEATS = 7
+RNG_SEED = 9
+
+
+def _best_time(fn, repeats=REPEATS):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _health_at_prevalence(model, n, prevalence):
+    inf_code = int(np.flatnonzero(model.is_infectious)[0])
+    health = np.zeros(n, dtype=np.int8)
+    n_inf = max(1, int(round(prevalence * n)))
+    pick = np.random.default_rng(1).choice(n, size=n_inf, replace=False)
+    health[pick] = inf_code
+    return health
+
+
+def test_transmission_kernel_backends(benchmark, save_artifact):
+    model = build_covid_model()
+
+    def panel():
+        rows = []
+        for code, scale in NETWORKS:
+            pop, net = build_region_network(code, scale=scale, seed=6)
+            inc = IncidentEdges(net.source, net.target, pop.size)
+            dur = net.duration.astype(np.float64)
+            w = net.weight.astype(np.float64)
+            active = np.ones(net.n_edges, bool)
+            ones = np.ones(pop.size)
+            for prev in PREVALENCES:
+                health = _health_at_prevalence(model, pop.size, prev)
+
+                def one_tick(backend):
+                    return transmission_step(
+                        model, health, ones, ones, net.source, net.target,
+                        active, w, dur, np.random.default_rng(RNG_SEED),
+                        backend=backend, incident=inc)
+
+                events = {b: one_tick(b) for b in BACKENDS}
+                base = events["dense"]
+                for b in ("frontier", "auto"):  # equivalence, not just speed
+                    np.testing.assert_array_equal(base.pids, events[b].pids)
+                    np.testing.assert_array_equal(
+                        base.infectors, events[b].infectors)
+                    assert base.n_candidates == events[b].n_candidates
+
+                times = {b: _best_time(lambda b=b: one_tick(b))
+                         for b in BACKENDS}
+                rows.append((f"{code}@{scale:g}", net.n_edges, prev, times))
+        return rows
+
+    rows = benchmark.pedantic(panel, rounds=1, iterations=1)
+
+    lines = [f"{'network':<10}{'edges':>10}{'prev':>7}"
+             f"{'dense (ms)':>12}{'frontier (ms)':>15}{'auto (ms)':>11}"
+             f"{'speedup':>9}{'auto pen.':>10}"]
+    for name, edges, prev, t in rows:
+        speedup = t["dense"] / t["frontier"]
+        pen = t["auto"] / min(t["dense"], t["frontier"]) - 1.0
+        lines.append(
+            f"{name:<10}{edges:>10,}{prev:>7.1%}"
+            f"{t['dense'] * 1e3:>12.3f}{t['frontier'] * 1e3:>15.3f}"
+            f"{t['auto'] * 1e3:>11.3f}{speedup:>8.1f}x{pen:>+10.1%}")
+    save_artifact("transmission_kernel_backends", "\n".join(lines))
+
+    largest = rows[-len(PREVALENCES):]
+    low = [r for r in largest if r[2] <= 0.01]
+    for _name, _edges, _prev, t in low:
+        assert t["dense"] / t["frontier"] >= 3.0
+    for _name, _edges, _prev, t in largest:
+        assert t["auto"] <= 1.10 * min(t["dense"], t["frontier"])

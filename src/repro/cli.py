@@ -59,7 +59,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.runner import load_region_assets, run_instance
 
     assets = load_region_assets(args.region, args.scale, args.seed)
-    params = {"TAU": args.tau, "SYMP": args.symp}
+    params = {"TAU": args.tau, "SYMP": args.symp, "backend": args.backend}
     if args.sh_compliance is not None:
         params["SH_COMPLIANCE"] = args.sh_compliance
     if args.vhi_compliance is not None:
@@ -150,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--symp", type=float, default=0.65)
     p.add_argument("--sh-compliance", type=float)
     p.add_argument("--vhi-compliance", type=float)
+    p.add_argument("--backend", choices=("dense", "frontier", "auto"),
+                   default="auto",
+                   help="transmission kernel (result-identical; A/B timing)")
     p.add_argument("--csv", help="write the daily series to this file")
     p.set_defaults(func=_cmd_simulate)
 

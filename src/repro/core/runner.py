@@ -17,6 +17,8 @@ Recognised cell parameters (all optional):
 - ``lockdown_days`` — SH duration (end = start + days).
 - ``reopen_level`` — partial reopening level after SH ends.
 - ``tracing_compliance`` — distance-1 contact tracing compliance.
+- ``backend`` / ``BACKEND`` — transmission kernel (``dense`` / ``frontier``
+  / ``auto``); all choices are result-identical, only speed differs.
 """
 
 from __future__ import annotations
@@ -102,11 +104,13 @@ def run_instance(
     """
     tau = float(params.get("TAU", 0.18))
     symp = float(params.get("SYMP", 0.65))
+    backend = params.get("backend", params.get("BACKEND", "auto"))
     model = build_covid_model_with_symp_fraction(tau, symp)
     sim = Simulation(
         model, assets.pop, assets.net,
         seed=seed,
         interventions=build_interventions(params),
+        backend=backend,
     )
     initialize_from_surveillance(sim, assets.truth.latest_by_county())
     result = sim.run(n_days)

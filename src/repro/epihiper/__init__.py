@@ -54,6 +54,7 @@ from .partition import (
 )
 from .ranks import RankProfile, simulate_rank_execution, strong_scaling_curve
 from .states import DiscreteDwell, FixedDwell, HealthState, NormalDwell
+from .transmission import TransmissionBackend, TransmissionEvents
 
 __all__ = [
     "model_from_dict",
@@ -73,6 +74,8 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "Transmission",
+    "TransmissionBackend",
+    "TransmissionEvents",
     "TransitionLog",
     "at_tick",
     "between_ticks",

@@ -11,6 +11,7 @@ cluster cost model (Figures 7 and 10).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +24,7 @@ from .disease import DiseaseModel
 from .interventions import EdgeSuppressor, IncidentEdges, Intervention
 from .output import TransitionLog, TransitionRecorder
 from .progression import ProgressionState, progression_step, schedule_entries
-from .transmission import transmission_step
+from .transmission import TransmissionBackend, transmission_step
 
 #: Bytes per in-memory edge record (ids, timing, contexts, weight, flags);
 #: drives the Figure 10 memory model.
@@ -51,7 +52,7 @@ class SimulationResult:
     log: TransitionLog
     state_counts: np.ndarray
     memory_series: np.ndarray
-    counters: dict[str, int]
+    counters: dict[str, int | float]
 
     def attack_rate(self, model: DiseaseModel) -> float:
         """Fraction of the population ever infected."""
@@ -76,6 +77,7 @@ class Simulation:
         *,
         seed: int = DEFAULT_SEED,
         interventions: list[Intervention] | None = None,
+        backend: TransmissionBackend | str = TransmissionBackend.AUTO,
     ) -> None:
         if net.n_nodes != pop.size:
             raise ValueError("network and population sizes disagree")
@@ -84,6 +86,7 @@ class Simulation:
         self.net = net
         self.rng = np.random.default_rng(seed)
         self.interventions = list(interventions or [])
+        self.backend = TransmissionBackend.coerce(backend)
 
         n = pop.size
         # Everybody starts in the first susceptible state.
@@ -108,16 +111,27 @@ class Simulation:
         self.suppressor = EdgeSuppressor(net.n_edges)
         self._incident: IncidentEdges | None = None
 
+        # Tick-loop caches: convert / derive once, reuse every tick instead
+        # of reallocating O(|E|) arrays per step.
+        self._duration_f64 = net.duration.astype(np.float64)
+        self._home_mask = ((net.source_activity == HOME)
+                           & (net.target_activity == HOME))
+        self._active_scratch = np.empty(net.n_edges, dtype=bool)
+        self._mem_base = net.n_edges * EDGE_BYTES + pop.size * NODE_BYTES
+
         self.tick = 0
         self.recorder = TransitionRecorder()
         self._counts_history: list[np.ndarray] = []
         self._memory_history: list[int] = []
-        self.counters: dict[str, int] = {
+        self.counters: dict[str, int | float] = {
             "contacts_evaluated": 0,
             "transitions": 0,
             "transmissions": 0,
             "interventions_fired": 0,
             "intervention_edge_ops": 0,
+            "interventions_s": 0.0,
+            "transmission_s": 0.0,
+            "progression_s": 0.0,
         }
 
     # -- derived structures ----------------------------------------------------
@@ -131,13 +145,15 @@ class Simulation:
         return self._incident
 
     def active_edges(self) -> np.ndarray:
-        """Effective per-edge activity mask this tick."""
+        """Effective per-edge activity mask this tick (fresh array)."""
         return self.suppressor.active_mask(self.base_active)
 
     def home_edge_mask(self) -> np.ndarray:
-        """Edges whose both contexts are *home* (kept by isolations)."""
-        return ((self.net.source_activity == HOME)
-                & (self.net.target_activity == HOME))
+        """Edges whose both contexts are *home* (kept by isolations).
+
+        Computed once at init; callers must treat the array as read-only.
+        """
+        return self._home_mask
 
     def current_state_counts(self) -> np.ndarray:
         """Census over states right now."""
@@ -180,30 +196,44 @@ class Simulation:
 
     def step(self) -> None:
         """Advance one tick (interventions, transmission, progression)."""
+        t0 = time.perf_counter()
         ops_before = self.suppressor.total_operations
         for iv in self.interventions:
             if iv.maybe_apply(self):
                 self.counters["interventions_fired"] += 1
         self.counters["intervention_edge_ops"] += (
             self.suppressor.total_operations - ops_before)
+        t1 = time.perf_counter()
+        self.counters["interventions_s"] += t1 - t0
 
-        active = self.active_edges()
+        # The mask is consumed within this tick only, so it can live in a
+        # preallocated scratch buffer; the frontier/auto kernels also need
+        # the incident CSR (built once, shared with contact tracing).
+        active = self.suppressor.active_mask_into(
+            self.base_active, self._active_scratch)
+        incident = (self.incident
+                    if self.backend is not TransmissionBackend.DENSE
+                    else None)
         events = transmission_step(
             self.model, self.health,
             self.node_susceptibility, self.node_infectivity,
             self.net.source, self.net.target, active,
-            self.edge_weight, self.net.duration.astype(np.float64),
+            self.edge_weight, self._duration_f64,
             self.rng,
+            backend=self.backend, incident=incident,
         )
         self.counters["contacts_evaluated"] += events.n_candidates
         if events.pids.size:
             self.counters["transmissions"] += int(events.pids.size)
             self.enter_state(events.pids, events.exposed_codes,
                              events.infectors)
+        t2 = time.perf_counter()
+        self.counters["transmission_s"] += t2 - t1
 
         pids, codes = progression_step(self.sched)
         if pids.size:
             self.enter_state(pids, codes)
+        self.counters["progression_s"] += time.perf_counter() - t2
 
         self.tick += 1
         self._counts_history.append(self.current_state_counts())
@@ -216,16 +246,16 @@ class Simulation:
         cost grows with scheduled system-state changes (suppressed edges,
         pending progressions, accumulated output) — the paper observes that
         higher intervention compliance means more scheduled changes and
-        hence more memory.
+        hence more memory.  Every term is maintained incrementally, so the
+        per-tick estimate is O(1) instead of re-summing O(|E| + |V|) arrays.
         """
-        base = self.net.n_edges * EDGE_BYTES + self.pop.size * NODE_BYTES
         dynamic = (
-            int((self.suppressor.count > 0).sum()) * SCHEDULED_CHANGE_BYTES
-            + int((self.sched.dwell > 0).sum()) * SCHEDULED_CHANGE_BYTES
+            self.suppressor.n_suppressed * SCHEDULED_CHANGE_BYTES
+            + self.sched.n_pending * SCHEDULED_CHANGE_BYTES
             + self.counters["transitions"] * 16
             + self.suppressor.total_operations * 8
         )
-        return base + dynamic
+        return self._mem_base + dynamic
 
     def run(self, n_days: int) -> SimulationResult:
         """Run ``n_days`` ticks and assemble the result."""

@@ -106,6 +106,18 @@ def sample_subset(
     return ids[rng.random(ids.size) < fraction]
 
 
+def _sorted_dedup(values: np.ndarray) -> np.ndarray:
+    """Ascending dedup of 1-D integers; like np.unique but without its
+    dispatch overhead (these gathers sit on intervention hot paths)."""
+    if values.size == 0:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
 @dataclass(slots=True)
 class SuppressionHandle:
     """A release token for a set of suppressed edges."""
@@ -120,26 +132,46 @@ class EdgeSuppressor:
     def __init__(self, n_edges: int) -> None:
         self.count = np.zeros(n_edges, dtype=np.int16)
         self.total_operations = 0  #: edges touched, for the cost model
+        self.n_suppressed = 0  #: edges with count > 0, kept incrementally
+        self._zero_scratch = np.empty(n_edges, dtype=bool)
+
+    def _apply(self, edge_rows: np.ndarray, sign: int) -> None:
+        """Adjust counts on the touched rows only, tracking 0 <-> >0 flips."""
+        rows, reps = np.unique(edge_rows, return_counts=True)
+        old = self.count[rows]
+        new = old + sign * reps
+        if sign < 0 and new.size and new.min() < 0:
+            raise RuntimeError("suppression count went negative")
+        self.count[rows] = new
+        self.n_suppressed += int(((old == 0) & (new > 0)).sum())
+        self.n_suppressed -= int(((old > 0) & (new == 0)).sum())
 
     def suppress(self, edge_rows: np.ndarray) -> SuppressionHandle:
         """Deactivate ``edge_rows`` (idempotent per handle, composable)."""
-        np.add.at(self.count, edge_rows, 1)
+        edge_rows = np.asarray(edge_rows)
+        self._apply(edge_rows, 1)
         self.total_operations += int(edge_rows.size)
-        return SuppressionHandle(np.asarray(edge_rows))
+        return SuppressionHandle(edge_rows)
 
     def release(self, handle: SuppressionHandle) -> None:
         """Undo one suppression; edges with zero remaining count reactivate."""
         if handle.released:
             return
-        np.add.at(self.count, handle.edge_rows, -1)
+        self._apply(handle.edge_rows, -1)
         self.total_operations += int(handle.edge_rows.size)
         handle.released = True
-        if (self.count < 0).any():
-            raise RuntimeError("suppression count went negative")
 
     def active_mask(self, base_active: np.ndarray) -> np.ndarray:
         """Effective edge activity: base flag and no live suppression."""
         return base_active & (self.count == 0)
+
+    def active_mask_into(
+        self, base_active: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Allocation-free :meth:`active_mask` into a caller-owned buffer."""
+        np.equal(self.count, 0, out=self._zero_scratch)
+        np.logical_and(base_active, self._zero_scratch, out=out)
+        return out
 
 
 class IncidentEdges:
@@ -161,21 +193,50 @@ class IncidentEdges:
         self._offsets = np.concatenate([[0], np.cumsum(counts)])
         self._others = np.concatenate([target, source])[order]
 
-    def edges_of(self, pids: np.ndarray) -> np.ndarray:
-        """Unique edge rows incident to any of ``pids``."""
+    def _gather_slots(self, pids: np.ndarray) -> np.ndarray:
+        """Vectorised CSR slot gather: every slot of every pid, in pid order.
+
+        Multi-range gather without a Python loop: repeat each pid's slice
+        start over its length, then add a per-slice ramp built from one
+        global arange minus the exclusive prefix sum of the lengths.
+        """
+        pids = np.asarray(pids, dtype=np.int64).ravel()
         if pids.size == 0:
             return np.empty(0, dtype=np.int64)
-        parts = [self._rows[self._offsets[p]:self._offsets[p + 1]]
-                 for p in np.asarray(pids).ravel()]
-        return np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+        starts = self._offsets[pids]
+        counts = self._offsets[pids + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        shift = np.repeat(starts - (np.cumsum(counts) - counts), counts)
+        return shift + np.arange(total, dtype=np.int64)
+
+    def degree_sum(self, pids: np.ndarray) -> int:
+        """Total incident-edge slots of ``pids`` (frontier-gather workload)."""
+        pids = np.asarray(pids, dtype=np.int64).ravel()
+        if pids.size == 0:
+            return 0
+        return int((self._offsets[pids + 1] - self._offsets[pids]).sum())
+
+    def edge_rows_of(self, pids: np.ndarray) -> np.ndarray:
+        """Incident edge rows of ``pids``, with one entry per incidence.
+
+        An edge whose both endpoints are in ``pids`` appears twice; callers
+        wanting the deduplicated (and ascending) set apply ``np.unique``.
+        """
+        return self._rows[self._gather_slots(pids)]
+
+    def edges_of(self, pids: np.ndarray) -> np.ndarray:
+        """Unique edge rows incident to any of ``pids``."""
+        rows = self.edge_rows_of(pids)
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return _sorted_dedup(rows)
 
     def neighbors_of(self, pids: np.ndarray) -> np.ndarray:
         """Unique neighbour ids of any of ``pids`` (excluding ``pids``)."""
-        if pids.size == 0:
+        slots = self._gather_slots(pids)
+        if slots.size == 0:
             return np.empty(0, dtype=np.int64)
-        parts = [self._others[self._offsets[p]:self._offsets[p + 1]]
-                 for p in np.asarray(pids).ravel()]
-        if not parts:
-            return np.empty(0, np.int64)
-        out = np.unique(np.concatenate(parts))
+        out = _sorted_dedup(self._others[slots])
         return np.setdiff1d(out, pids, assume_unique=False)

@@ -21,6 +21,9 @@ class ProgressionState:
 
     dwell: np.ndarray  #: int32 ticks remaining; 0 = nothing scheduled
     next_state: np.ndarray  #: int8 scheduled destination; -1 = none
+    #: persons with dwell > 0, maintained incrementally at the two mutation
+    #: sites so the per-tick memory estimate never re-scans the arrays.
+    n_pending: int = 0
 
     @classmethod
     def empty(cls, n: int) -> "ProgressionState":
@@ -54,9 +57,11 @@ def schedule_entries(
         sel = codes == code
         persons = pids[sel]
         out = model.out_edges.get(int(code))
+        was_pending = int((sched.dwell[persons] > 0).sum())
         if out is None:
             sched.dwell[persons] = 0
             sched.next_state[persons] = -1
+            sched.n_pending -= was_pending
             continue
         dsts, probs, dwells = out
         # probs is (n_out, n_age); pick the column for each person's age
@@ -70,6 +75,7 @@ def schedule_entries(
             grp = persons[choice == k]
             if grp.size:
                 sched.dwell[grp] = dwells[k].sample(grp.size, rng)
+        sched.n_pending += int((sched.dwell[persons] > 0).sum()) - was_pending
 
 
 def progression_step(
@@ -84,7 +90,9 @@ def progression_step(
     """
     pending = sched.dwell > 0
     sched.dwell[pending] -= 1
-    fire = pending & (sched.dwell == 0) & (sched.next_state >= 0)
+    hit_zero = pending & (sched.dwell == 0)
+    sched.n_pending -= int(hit_zero.sum())
+    fire = hit_zero & (sched.next_state >= 0)
     pids = np.flatnonzero(fire)
     codes = sched.next_state[pids].copy()
     sched.next_state[pids] = -1

@@ -14,18 +14,79 @@ running Gillespie over one tick is equivalent to an independent Bernoulli per
 contact with p = 1 - exp(-rho); we use the per-contact form because it also
 yields the causing contact directly (EpiHiper records which contact caused
 each transmission).
+
+Two interchangeable kernels produce the candidate contacts:
+
+``dense``
+    Scan every edge: O(|E|) boolean masks, best once a sizeable fraction of
+    the population is infectious.
+
+``frontier``
+    Gather only the edges incident to the currently-infectious set through
+    the :class:`~repro.epihiper.interventions.IncidentEdges` CSR, then sort
+    the gathered edge rows into ascending (dense enumeration) order.  Early
+    in an epidemic — the common case in calibration sweeps — this does
+    O(frontier degree) work instead of O(|E|).
+
+Because a candidate contact requires an infectious endpoint, both kernels
+enumerate *exactly* the same contacts, and the ascending sort makes the
+frontier kernel emit them in the same order the dense scan does.  The RNG
+consumption (one uniform per candidate, then one permutation over firing
+contacts) is therefore identical, and the two kernels produce bit-identical
+:class:`TransmissionEvents` for the same RNG stream — equivalence is exact,
+not statistical.
+
+``auto`` picks per tick: frontier while the gathered incident-slot count
+(the sum of the infectious set's degrees) stays below
+``FRONTIER_DENSE_CROSSOVER`` of the edge count, dense afterwards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .disease import DiseaseModel
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .interventions import IncidentEdges
+
 #: Contact durations in the network are minutes; propensities use days.
 MINUTES_PER_DAY: float = 24.0 * 60.0
+
+#: ``auto`` crossover: use the frontier kernel while the infectious set's
+#: degree sum (gathered CSR slots) is below this fraction of |E|.  The
+#: frontier pays a sort over the gathered rows but skips the O(|E|) boolean
+#: masks and O(|E|)-sized mask-indexing of the dense scan; measured on
+#: scaled state networks the break-even sits around 0.6 gathered slots per
+#: edge (~30% prevalence on a degree-homogeneous network), and the two
+#: kernels are within ~10% of each other well around it, so a misprediction
+#: near the boundary is cheap.
+FRONTIER_DENSE_CROSSOVER: float = 0.6
+
+
+class TransmissionBackend(Enum):
+    """Which kernel enumerates candidate contacts each tick."""
+
+    DENSE = "dense"
+    FRONTIER = "frontier"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(cls, value: "TransmissionBackend | str") -> "TransmissionBackend":
+        """Accept an enum member or its string value (cell-parameter form)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown transmission backend {value!r}; expected one of "
+                f"{names}") from None
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,49 +99,108 @@ class TransmissionEvents:
     n_candidates: int  #: directed susceptible-infectious contacts evaluated
 
 
-def transmission_step(
-    model: DiseaseModel,
-    health: np.ndarray,
-    node_susceptibility: np.ndarray,
-    node_infectivity: np.ndarray,
-    edge_source: np.ndarray,
-    edge_target: np.ndarray,
-    edge_active: np.ndarray,
-    edge_weight: np.ndarray,
-    edge_duration_min: np.ndarray,
-    rng: np.random.Generator,
-) -> TransmissionEvents:
-    """Evaluate all active contacts for one tick and sample transmissions.
+def _unique_sorted(values: np.ndarray) -> np.ndarray:
+    """Ascending deduplication via sort + adjacent-difference flags.
 
-    Args:
-        model: the disease model supplying state-level sigma / iota / omega.
-        health: per-person state codes.
-        node_susceptibility / node_infectivity: per-person scaling traits
-            (the rw ``susceptibility`` / ``infectivity`` values of Table V).
-        edge_*: the contact-network columns; only ``active`` edges transmit.
-        rng: the simulation's random stream.
-
-    Returns:
-        One event per newly exposed person.  A person reachable through
-        several firing contacts is exposed once, attributed to a uniformly
-        random firing contact.
+    Equivalent to ``np.unique`` on 1-D integer input but noticeably faster
+    (np.unique pays for its generality), which matters here: the dedup of
+    gathered frontier rows is the frontier kernel's dominant cost.
     """
-    sus_state = model.is_susceptible[health]
-    inf_state = model.is_infectious[health]
+    if values.size == 0:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
 
+
+def _empty_events(n_candidates: int) -> TransmissionEvents:
+    return TransmissionEvents(
+        pids=np.empty(0, np.int64),
+        exposed_codes=np.empty(0, np.int8),
+        infectors=np.empty(0, np.int64),
+        n_candidates=int(n_candidates),
+    )
+
+
+def resolve_backend(
+    backend: TransmissionBackend | str,
+    incident: "IncidentEdges | None",
+    infectious_pids: np.ndarray,
+    n_edges: int,
+) -> TransmissionBackend:
+    """Resolve ``auto`` into a concrete kernel for this tick.
+
+    The decision compares the exact work the frontier gather would do (the
+    infectious set's degree sum, an O(frontier) lookup in the CSR offsets)
+    against the dense scan's O(|E|); ``dense`` and ``frontier`` pass
+    through unchanged.
+    """
+    backend = TransmissionBackend.coerce(backend)
+    if backend is not TransmissionBackend.AUTO:
+        return backend
+    if incident is None:
+        return TransmissionBackend.DENSE
+    gathered = incident.degree_sum(infectious_pids)
+    if gathered <= FRONTIER_DENSE_CROSSOVER * n_edges:
+        return TransmissionBackend.FRONTIER
+    return TransmissionBackend.DENSE
+
+
+def _dense_candidates(sus_state, inf_state, edge_source, edge_target,
+                      edge_active, edge_weight, edge_duration_min):
+    """Candidate contacts by scanning every edge (both directions)."""
     src, tgt = edge_source, edge_target
     fwd = edge_active & inf_state[src] & sus_state[tgt]  # src infects tgt
     bwd = edge_active & inf_state[tgt] & sus_state[src]  # tgt infects src
 
     sus_ids = np.concatenate([tgt[fwd], src[bwd]])
-    inf_ids = np.concatenate([src[fwd], tgt[bwd]])
     if sus_ids.size == 0:
-        empty = np.empty(0, np.int64)
-        return TransmissionEvents(empty, np.empty(0, np.int8), empty.copy(), 0)
-
+        return None
+    inf_ids = np.concatenate([src[fwd], tgt[bwd]])
     dur = np.concatenate([edge_duration_min[fwd], edge_duration_min[bwd]])
     w = np.concatenate([edge_weight[fwd], edge_weight[bwd]])
+    return sus_ids, inf_ids, dur, w
 
+
+def _frontier_candidates(model, health, inf_state, infectious_pids, incident,
+                         edge_source, edge_target, edge_active, edge_weight,
+                         edge_duration_min):
+    """Candidate contacts gathered from the infectious frontier.
+
+    The sort-dedup both drops rows whose two endpoints are infectious and
+    puts the gathered rows in ascending — dense enumeration — order, which
+    is what guarantees RNG-stream equivalence with the dense kernel.
+    State flags are looked up on the gathered endpoints only, so nothing
+    here scales with |E| or |V| except the one flatnonzero the caller did.
+    """
+    rows = incident.edge_rows_of(infectious_pids)
+    if rows.size == 0:
+        return None
+    rows = _unique_sorted(rows)
+
+    src = edge_source[rows]
+    tgt = edge_target[rows]
+    act = edge_active[rows]
+    sus_of = model.is_susceptible
+    fwd = act & inf_state[src] & sus_of[health[tgt]]
+    bwd = act & inf_state[tgt] & sus_of[health[src]]
+
+    sus_ids = np.concatenate([tgt[fwd], src[bwd]])
+    if sus_ids.size == 0:
+        return None
+    inf_ids = np.concatenate([src[fwd], tgt[bwd]])
+    frows, brows = rows[fwd], rows[bwd]
+    dur = np.concatenate([edge_duration_min[frows], edge_duration_min[brows]])
+    w = np.concatenate([edge_weight[frows], edge_weight[brows]])
+    return sus_ids, inf_ids, dur, w
+
+
+def _sample_transmissions(model, health, node_susceptibility,
+                          node_infectivity, sus_ids, inf_ids, dur, w,
+                          rng) -> TransmissionEvents:
+    """Eq. (1) propensities + per-contact Bernoulli over the candidates."""
     sigma = model.susceptibility[health[sus_ids]] * node_susceptibility[sus_ids]
     iota = model.infectivity[health[inf_ids]] * node_infectivity[inf_ids]
     omega = model.omega[health[sus_ids], health[inf_ids]]
@@ -91,9 +211,7 @@ def transmission_step(
 
     fired = rng.random(p.shape[0]) < p
     if not fired.any():
-        empty = np.empty(0, np.int64)
-        return TransmissionEvents(
-            empty, np.empty(0, np.int8), empty.copy(), int(sus_ids.size))
+        return _empty_events(sus_ids.size)
 
     f_sus = sus_ids[fired]
     f_inf = inf_ids[fired]
@@ -111,3 +229,65 @@ def transmission_step(
         infectors=infectors,
         n_candidates=int(sus_ids.size),
     )
+
+
+def transmission_step(
+    model: DiseaseModel,
+    health: np.ndarray,
+    node_susceptibility: np.ndarray,
+    node_infectivity: np.ndarray,
+    edge_source: np.ndarray,
+    edge_target: np.ndarray,
+    edge_active: np.ndarray,
+    edge_weight: np.ndarray,
+    edge_duration_min: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    backend: TransmissionBackend | str = TransmissionBackend.DENSE,
+    incident: "IncidentEdges | None" = None,
+) -> TransmissionEvents:
+    """Evaluate the active contacts of one tick and sample transmissions.
+
+    Args:
+        model: the disease model supplying state-level sigma / iota / omega.
+        health: per-person state codes.
+        node_susceptibility / node_infectivity: per-person scaling traits
+            (the rw ``susceptibility`` / ``infectivity`` values of Table V).
+        edge_*: the contact-network columns; only ``active`` edges transmit.
+        rng: the simulation's random stream.
+        backend: candidate-enumeration kernel; all choices consume the RNG
+            stream identically and return bit-identical events.
+        incident: the person -> incident-edge CSR; required by ``frontier``
+            and used by ``auto`` (``auto`` without it degrades to dense).
+
+    Returns:
+        One event per newly exposed person.  A person reachable through
+        several firing contacts is exposed once, attributed to a uniformly
+        random firing contact.
+    """
+    inf_state = model.is_infectious[health]
+
+    backend = TransmissionBackend.coerce(backend)
+    if backend is not TransmissionBackend.DENSE:
+        infectious_pids = np.flatnonzero(inf_state)
+        backend = resolve_backend(
+            backend, incident, infectious_pids, edge_source.shape[0])
+    if backend is TransmissionBackend.FRONTIER:
+        if incident is None:
+            raise ValueError(
+                "frontier backend requires an IncidentEdges index")
+        cand = _frontier_candidates(
+            model, health, inf_state, infectious_pids, incident,
+            edge_source, edge_target, edge_active, edge_weight,
+            edge_duration_min)
+    else:
+        cand = _dense_candidates(
+            model.is_susceptible[health], inf_state, edge_source,
+            edge_target, edge_active, edge_weight, edge_duration_min)
+
+    if cand is None:
+        return _empty_events(0)
+    sus_ids, inf_ids, dur, w = cand
+    return _sample_transmissions(
+        model, health, node_susceptibility, node_infectivity,
+        sus_ids, inf_ids, dur, w, rng)

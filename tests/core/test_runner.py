@@ -77,3 +77,19 @@ def test_seeding_uses_surveillance(assets):
     result, _model = run_instance(assets, {}, n_days=0, seed=2)
     assert result.log.size > 0  # seeds recorded at tick 0
     assert (result.log.tick == 0).all()
+
+
+def test_backend_param_results_identical(assets):
+    """The cell-level backend knob only changes speed, never results."""
+    series = []
+    for backend in ("dense", "frontier", "auto"):
+        result, model = run_instance(
+            assets, {"TAU": 0.3, "backend": backend}, n_days=20, seed=5)
+        series.append(confirmed_series(result, model, 20))
+    np.testing.assert_array_equal(series[0], series[1])
+    np.testing.assert_array_equal(series[0], series[2])
+
+
+def test_backend_param_invalid_rejected(assets):
+    with pytest.raises(ValueError, match="unknown transmission backend"):
+        run_instance(assets, {"backend": "sparse"}, n_days=1, seed=5)

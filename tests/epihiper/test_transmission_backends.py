@@ -1,0 +1,218 @@
+"""Frontier/dense kernel equivalence: bit-identical, not statistical.
+
+The frontier kernel gathers only edges incident to the infectious set and
+sorts them into dense enumeration order, so for the same RNG stream it must
+reproduce the dense kernel's :class:`TransmissionEvents` exactly — pids,
+exposed codes, infectors, and candidate counts, over any network, health
+configuration, and intervention-suppressed edge mask.
+"""
+
+import numpy as np
+import pytest
+
+from repro.epihiper import Simulation, TransmissionBackend, uniform_seeds
+from repro.epihiper.disease import (
+    DiseaseModel,
+    Progression,
+    Transmission,
+    uniform,
+)
+from repro.epihiper.interventions import IncidentEdges
+from repro.epihiper.npi import make_sh, make_vhi
+from repro.epihiper.states import FixedDwell, HealthState
+from repro.epihiper.transmission import (
+    FRONTIER_DENSE_CROSSOVER,
+    resolve_backend,
+    transmission_step,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def make_model(tau=2.0):
+    states = [
+        HealthState("S", susceptibility=1.0),
+        HealthState("I", infectivity=1.0),
+        HealthState("R"),
+    ]
+    return DiseaseModel(
+        "sir", states,
+        [Progression("I", "R", uniform(1.0), FixedDwell(3))],
+        [Transmission("S", "I", "I")],
+        transmissibility=tau,
+    )
+
+
+def random_network(n_nodes, n_edges, rng):
+    """Random canonical (source < target) edge list with durations/weights."""
+    src = rng.integers(0, n_nodes - 1, size=n_edges, dtype=np.int64)
+    tgt = rng.integers(1, n_nodes, size=n_edges, dtype=np.int64)
+    lo = np.minimum(src, tgt)
+    hi = np.maximum(src, tgt)
+    bump = lo == hi  # avoid self-loops
+    hi = np.where(bump, lo + 1, hi)
+    dur = rng.integers(5, 1440, size=n_edges).astype(np.float64)
+    w = rng.uniform(0.1, 2.0, size=n_edges)
+    return lo, hi, dur, w
+
+
+def random_health(n_nodes, prevalence, rng):
+    health = np.zeros(n_nodes, dtype=np.int8)
+    n_inf = int(round(prevalence * n_nodes))
+    if n_inf:
+        health[rng.choice(n_nodes, size=n_inf, replace=False)] = 1
+    return health
+
+
+def assert_events_identical(a, b):
+    assert a.n_candidates == b.n_candidates
+    for field in ("pids", "exposed_codes", "infectors"):
+        x, y = getattr(a, field), getattr(b, field)
+        assert x.dtype == y.dtype, field
+        np.testing.assert_array_equal(x, y, err_msg=field)
+
+
+def run_backend(backend, model, health, src, tgt, dur, w, active, inc,
+                node_sus, node_inf, seed):
+    return transmission_step(
+        model, health, node_sus, node_inf, src, tgt, active, w, dur,
+        np.random.default_rng(seed), backend=backend, incident=inc)
+
+
+@pytest.mark.parametrize("n_nodes,n_edges", [(40, 120), (300, 1500),
+                                             (1000, 8000)])
+@pytest.mark.parametrize("prevalence", [0.0, 0.01, 0.1, 0.6])
+@pytest.mark.parametrize("active_frac", [1.0, 0.7])
+def test_frontier_matches_dense_bitwise(n_nodes, n_edges, prevalence,
+                                        active_frac):
+    for case_seed in (0, 1, 2):
+        setup = np.random.default_rng((case_seed, n_nodes, int(100
+                                                               * prevalence)))
+        src, tgt, dur, w = random_network(n_nodes, n_edges, setup)
+        health = random_health(n_nodes, prevalence, setup)
+        active = setup.random(n_edges) < active_frac
+        node_sus = setup.uniform(0.0, 1.5, n_nodes)
+        node_inf = setup.uniform(0.0, 1.5, n_nodes)
+        inc = IncidentEdges(src, tgt, n_nodes)
+        model = make_model()
+
+        args = (model, health, src, tgt, dur, w, active, inc,
+                node_sus, node_inf, 7 + case_seed)
+        dense = run_backend(TransmissionBackend.DENSE, *args)
+        frontier = run_backend(TransmissionBackend.FRONTIER, *args)
+        auto = run_backend(TransmissionBackend.AUTO, *args)
+        assert_events_identical(dense, frontier)
+        assert_events_identical(dense, auto)
+
+
+def test_both_infectious_endpoints_edge_counted_once():
+    # Edge (0, 1) with both endpoints infectious appears twice in the CSR
+    # gather; the unique pass must not double-evaluate it.
+    model = make_model(tau=50.0)
+    src = np.array([0, 1], dtype=np.int64)
+    tgt = np.array([1, 2], dtype=np.int64)
+    dur = np.array([1440.0, 1440.0])
+    w = np.ones(2)
+    active = np.ones(2, bool)
+    health = np.array([1, 1, 0], dtype=np.int8)
+    inc = IncidentEdges(src, tgt, 3)
+    ones = np.ones(3)
+    dense = run_backend(TransmissionBackend.DENSE, model, health, src, tgt,
+                        dur, w, active, inc, ones, ones, 5)
+    frontier = run_backend(TransmissionBackend.FRONTIER, model, health, src,
+                           tgt, dur, w, active, inc, ones, ones, 5)
+    assert_events_identical(dense, frontier)
+    assert dense.n_candidates == 1  # only 1 -> 2 is a candidate
+
+
+def test_frontier_without_incident_raises():
+    model = make_model()
+    src = np.array([0], dtype=np.int64)
+    tgt = np.array([1], dtype=np.int64)
+    health = np.array([1, 0], dtype=np.int8)
+    with pytest.raises(ValueError, match="IncidentEdges"):
+        transmission_step(
+            model, health, np.ones(2), np.ones(2), src, tgt,
+            np.ones(1, bool), np.ones(1), np.array([60.0]),
+            np.random.default_rng(0), backend="frontier")
+
+
+def test_backend_coercion():
+    assert TransmissionBackend.coerce("dense") is TransmissionBackend.DENSE
+    assert TransmissionBackend.coerce("FRONTIER") is \
+        TransmissionBackend.FRONTIER
+    assert TransmissionBackend.coerce(
+        TransmissionBackend.AUTO) is TransmissionBackend.AUTO
+    with pytest.raises(ValueError, match="unknown transmission backend"):
+        TransmissionBackend.coerce("sparse")
+
+
+def test_auto_switches_backend_as_prevalence_grows():
+    setup = np.random.default_rng(11)
+    n_nodes, n_edges = 2000, 12000
+    src, tgt, _dur, _w = random_network(n_nodes, n_edges, setup)
+    inc = IncidentEdges(src, tgt, n_nodes)
+
+    few = np.arange(5, dtype=np.int64)
+    many = np.arange(n_nodes, dtype=np.int64)
+    assert resolve_backend("auto", inc, few, n_edges) is \
+        TransmissionBackend.FRONTIER
+    assert resolve_backend("auto", inc, many, n_edges) is \
+        TransmissionBackend.DENSE
+    # The crossover sits exactly at the documented gathered-slot fraction.
+    assert inc.degree_sum(few) <= FRONTIER_DENSE_CROSSOVER * n_edges
+    assert inc.degree_sum(many) > FRONTIER_DENSE_CROSSOVER * n_edges
+    # Fixed backends pass through; auto without a CSR degrades to dense.
+    assert resolve_backend("frontier", inc, many, n_edges) is \
+        TransmissionBackend.FRONTIER
+    assert resolve_backend("auto", None, few, n_edges) is \
+        TransmissionBackend.DENSE
+
+
+def test_simulation_trajectories_identical_across_backends(vt_assets,
+                                                           covid_model):
+    """Whole-run equivalence on a real region, with suppressing NPIs."""
+    pop, net = vt_assets
+    results = {}
+    for backend in ("dense", "frontier", "auto"):
+        sim = Simulation(
+            covid_model, pop, net, seed=99,
+            interventions=[make_vhi(0.6), make_sh(0.5, start=5, end=25)],
+            backend=backend)
+        sim.seed_infections(uniform_seeds(pop, 10, sim.rng))
+        results[backend] = sim.run(40)
+    base = results["dense"]
+    for backend in ("frontier", "auto"):
+        other = results[backend]
+        np.testing.assert_array_equal(base.state_counts, other.state_counts)
+        np.testing.assert_array_equal(base.memory_series,
+                                      other.memory_series)
+        np.testing.assert_array_equal(base.log.pid, other.log.pid)
+        np.testing.assert_array_equal(base.log.state, other.log.state)
+        np.testing.assert_array_equal(base.log.infector, other.log.infector)
+        assert base.counters["contacts_evaluated"] == \
+            other.counters["contacts_evaluated"]
+        assert base.counters["transmissions"] == \
+            other.counters["transmissions"]
+
+
+def test_incremental_accounting_matches_rescan(vt_assets, covid_model):
+    """The O(1) memory-estimate terms equal a from-scratch recount."""
+    pop, net = vt_assets
+    sim = Simulation(covid_model, pop, net, seed=3,
+                     interventions=[make_vhi(0.7)])
+    sim.seed_infections(uniform_seeds(pop, 10, sim.rng))
+    sim.run(30)
+    assert sim.suppressor.n_suppressed == int(
+        (sim.suppressor.count > 0).sum())
+    assert sim.sched.n_pending == int((sim.sched.dwell > 0).sum())
+
+
+def test_phase_timing_counters_populated(vt_assets, covid_model):
+    pop, net = vt_assets
+    sim = Simulation(covid_model, pop, net, seed=3)
+    sim.seed_infections(uniform_seeds(pop, 10, sim.rng))
+    result = sim.run(10)
+    for key in ("interventions_s", "transmission_s", "progression_s"):
+        assert result.counters[key] >= 0.0
+    assert result.counters["transmission_s"] > 0.0
