@@ -7,6 +7,12 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro simulate VA --days 120 --tau 0.22   # run EpiHiper for one region
     repro calibrate VA --cells 30 --days 80   # case-study-3 calibration
     repro night prediction                    # orchestrate a nightly cycle
+    repro store stats                         # result-store maintenance
+
+``simulate``, ``calibrate`` and ``night`` are cached through the
+content-addressed result store by default (``--no-cache`` bypasses it) and
+journal to a JSONL run ledger with ``--ledger``; ``night --resume`` replays
+the ledger and re-executes only the instances it does not record.
 
 Run ``python -m repro.cli <cmd> -h`` for per-command options.
 """
@@ -16,6 +22,48 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+#: Cache-key namespace for the ``simulate`` command's summary payload
+#: (confirmed + deaths series, attack rate, peak day).
+SIMULATE_NAMESPACE = "simulate-summary/v1"
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    """The shared caching / journaling options."""
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result store (and ledger-based resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed work: for 'night', replay the "
+                        "ledger and re-execute only missing instances; for "
+                        "'simulate'/'calibrate' this is the default "
+                        "whenever caching is enabled")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="append run events to this JSONL journal")
+    p.add_argument("--store-dir", metavar="DIR",
+                   help="result-store directory (default REPRO_STORE_DIR "
+                        "or ~/.cache/repro/store)")
+
+
+def _resolve_store(args: argparse.Namespace):
+    """The store implied by the flags (None when caching is off)."""
+    if args.no_cache:
+        if args.resume:
+            raise SystemExit("--resume and --no-cache are contradictory")
+        return None
+    from .store import ContentStore, default_store
+
+    if args.store_dir:
+        return ContentStore(Path(args.store_dir))
+    return default_store()
+
+
+def _resolve_ledger(args: argparse.Namespace):
+    """The run ledger implied by the flags (None when not journaling)."""
+    if not args.ledger:
+        return None
+    from .store import RunLedger
+
+    return RunLedger(Path(args.ledger))
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -55,23 +103,53 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .analytics import CONFIRMED, DEATHS, summarize, target_series
-    from .core.runner import load_region_assets, run_instance
+    import numpy as np
 
-    assets = load_region_assets(args.region, args.scale, args.seed)
+    from .core.parallel import InstanceSpec
+    from .store.keys import instance_key
+
+    store = _resolve_store(args)
+    ledger = _resolve_ledger(args)
     params = {"TAU": args.tau, "SYMP": args.symp, "backend": args.backend}
     if args.sh_compliance is not None:
         params["SH_COMPLIANCE"] = args.sh_compliance
     if args.vhi_compliance is not None:
         params["VHI_COMPLIANCE"] = args.vhi_compliance
-    result, model = run_instance(assets, params, n_days=args.days,
-                                 seed=args.seed)
-    summary = summarize(result, model)
-    confirmed = target_series(summary, model, CONFIRMED)
-    deaths = target_series(summary, model, DEATHS)
-    print(f"{args.region}: attack {result.attack_rate(model):.1%}, "
-          f"peak day {result.peak_day(model)}, "
-          f"confirmed {confirmed[-1]:,}, deaths {deaths[-1]:,}")
+    spec = InstanceSpec(
+        region_code=args.region, params=params, n_days=args.days,
+        scale=args.scale, seed=args.seed,
+        label=f"simulate-{args.region}", asset_seed=args.seed)
+    key = instance_key(spec, namespace=SIMULATE_NAMESPACE)
+
+    payload = store.get(key) if store is not None else None
+    cached = payload is not None
+    if payload is None:
+        from .analytics import CONFIRMED, DEATHS, summarize, target_series
+        from .core.runner import load_region_assets, run_instance
+
+        assets = load_region_assets(args.region, args.scale, args.seed)
+        result, model = run_instance(assets, params, n_days=args.days,
+                                     seed=args.seed)
+        summary = summarize(result, model)
+        payload = {
+            "confirmed": target_series(summary, model, CONFIRMED),
+            "deaths": target_series(summary, model, DEATHS),
+            "attack_rate": np.asarray(result.attack_rate(model)),
+            "peak_day": np.asarray(result.peak_day(model)),
+        }
+        if store is not None:
+            store.put(key, payload)
+        if ledger is not None:
+            ledger.instance_completed(key, label=spec.label)
+    elif ledger is not None:
+        ledger.cache_hit(key, label=spec.label)
+
+    confirmed = payload["confirmed"]
+    deaths = payload["deaths"]
+    print(f"{args.region}: attack {float(payload['attack_rate']):.1%}, "
+          f"peak day {int(payload['peak_day'])}, "
+          f"confirmed {int(confirmed[-1]):,}, deaths {int(deaths[-1]):,}"
+          + (" [store hit]" if cached else ""))
     if args.csv:
         import csv as _csv
 
@@ -87,14 +165,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration_wf import run_calibration_workflow
 
+    store = _resolve_store(args)
+    ledger = _resolve_ledger(args)
     cal = run_calibration_workflow(
         args.region, n_cells=args.cells, n_days=args.days,
         scale=args.scale, seed=args.seed,
-        mcmc_samples=args.samples, mcmc_burn_in=args.burn_in)
+        mcmc_samples=args.samples, mcmc_burn_in=args.burn_in,
+        store=store, ledger=ledger)
     tight = cal.posterior.tightening()
     post = cal.posterior.theta_samples
     print(f"{args.region}: calibrated {args.cells} cells over "
           f"{args.days} days (onset at surveillance day {cal.onset_day})")
+    if store is not None:
+        s = store.stats
+        print(f"  store: {s.hits} hits, {s.misses} misses "
+              f"({s.hit_rate:.0%} served)")
     for k, name in enumerate(cal.space.names):
         print(f"  {name:<16} posterior {post[:, k].mean():.3f} "
               f"± {post[:, k].std():.3f}  (tightening {tight[k]:.2f}x)")
@@ -117,10 +202,35 @@ def _cmd_night(args: argparse.Namespace) -> int:
         "calibration": lambda: calibration_design(seed=args.seed),
     }
     design = designs[args.workflow]()
+    if args.resume and args.no_cache:
+        raise SystemExit("--resume and --no-cache are contradictory")
+    resume = args.resume
+    if resume and not args.ledger:
+        print("night --resume needs --ledger PATH to replay",
+              file=sys.stderr)
+        return 2
     report = orchestrate_night(design, algorithm=args.algorithm,
-                               seed=args.seed)
+                               seed=args.seed,
+                               ledger=_resolve_ledger(args), resume=resume)
     print(report.summary())
     return 0 if report.fits_window else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ContentStore, default_store
+
+    store = (ContentStore(Path(args.dir)) if args.dir
+             else default_store())
+    if args.action == "stats":
+        print(store.summary())
+    elif args.action == "gc":
+        evicted = store.gc(args.max_bytes)
+        print(f"evicted {len(evicted)} blobs, "
+              f"{len(store)} remain ({store.total_bytes():,} bytes)")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} blobs from {store.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="transmission kernel (result-identical; A/B timing)")
     p.add_argument("--csv", help="write the daily series to this file")
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("calibrate", help="run the calibration workflow")
@@ -164,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--samples", type=int, default=800)
     p.add_argument("--burn-in", type=int, default=600)
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("night", help="orchestrate one nightly cycle")
@@ -172,7 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="FFDT-DC",
                    choices=("FFDT-DC", "NFDT-DC"))
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_night)
+
+    p = sub.add_parser("store", help="inspect or maintain the result store")
+    ssub = p.add_subparsers(dest="action", required=True)
+    for action, desc in (("stats", "blob count, bytes, session counters"),
+                         ("gc", "evict least-recently-used blobs"),
+                         ("clear", "delete every stored blob")):
+        sp = ssub.add_parser(action, help=desc)
+        sp.add_argument("--dir", metavar="DIR",
+                        help="store directory (default REPRO_STORE_DIR "
+                             "or ~/.cache/repro/store)")
+        if action == "gc":
+            sp.add_argument("--max-bytes", type=int, required=True,
+                            help="size bound to evict down to")
+        sp.set_defaults(func=_cmd_store)
 
     return parser
 

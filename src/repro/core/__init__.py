@@ -9,6 +9,7 @@ from .accounting import (
 )
 from .calibration_wf import (
     CalibrationWorkflowResult,
+    align_onset,
     run_calibration_workflow,
     run_iterative_calibration,
 )
@@ -64,6 +65,7 @@ from .runner import (
     RegionAssets,
     build_interventions,
     confirmed_series,
+    execute_spec,
     load_region_assets,
     observed_series,
     run_instance,
@@ -108,11 +110,13 @@ __all__ = [
     "WorkflowRun",
     "WorkflowTask",
     "account_workflow",
+    "align_onset",
     "build_interventions",
     "calibration_design",
     "case_study_space",
     "confirmed_series",
     "economic_design",
+    "execute_spec",
     "factorial_cells",
     "lhs_cells",
     "load_region_assets",

@@ -8,6 +8,11 @@ Steps, as in the paper:
 3. Simulate every cell with EpiHiper and aggregate simulated case counts.
 4. Compare against ground truth with the Bayesian GP-emulator framework and
    produce plausible posterior configurations for the prediction workflow.
+
+Cell simulations fan out through :func:`~repro.core.parallel.run_instances`
+and are memoized through the result store when one is supplied: a repeated
+workflow call with identical arguments serves every instance from the
+store, and iterative rounds only pay for configurations they have not seen.
 """
 
 from __future__ import annotations
@@ -19,14 +24,20 @@ import numpy as np
 from ..calibration.gpmsa import CalibrationResult, GPMSACalibrator
 from ..calibration.lhs import ParameterSpace, sample_design
 from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from ..store.cas import ContentStore
+from ..store.ledger import RunLedger
+from ..store.memo import run_instances_memoized
+from ..surveillance.truth import GroundTruth
 from .designs import case_study_space
-from .runner import (
-    RegionAssets,
-    confirmed_series,
-    load_region_assets,
-    observed_series,
-    run_instance,
-)
+from .parallel import InstanceSpec
+from .runner import RegionAssets, load_region_assets, observed_series
+
+__all__ = [
+    "CalibrationWorkflowResult",
+    "align_onset",
+    "run_calibration_workflow",
+    "run_iterative_calibration",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +73,64 @@ class CalibrationWorkflowResult:
         return [dict(zip(self.space.names, row.tolist())) for row in draws]
 
 
+def align_onset(
+    truth: GroundTruth, scale: float, n_days: int
+) -> tuple[np.ndarray, int]:
+    """Align the simulation clock with the outbreak.
+
+    Surveillance leads with a quiet importation period, while simulations
+    are seeded "now": tick 0 therefore corresponds to the first
+    surveillance day with a meaningful case count (mirroring the paper's
+    seeding from current county-level confirmed cases).
+
+    Args:
+        truth: the region's surveillance ground truth.
+        scale: simulation scale the truth is rescaled to.
+        n_days: observation window in ticks.
+
+    Returns:
+        ``(observed, onset)``: the ``(n_days + 1,)`` truth window starting
+        at the onset day, and the onset day itself (clamped so the window
+        fits inside the truth series).
+    """
+    full = observed_series(truth, scale, truth.n_days - 1)
+    nz = np.flatnonzero(full >= 1.0)
+    onset = int(nz[0]) if nz.size else 0
+    onset = min(onset, full.shape[0] - (n_days + 1))
+    return full[onset: onset + n_days + 1], onset
+
+
+def _design_specs(
+    region_code: str,
+    space: ParameterSpace,
+    design: np.ndarray,
+    *,
+    n_days: int,
+    scale: float,
+    seed: int,
+    seed_offset: int,
+    label_prefix: str,
+) -> list[InstanceSpec]:
+    """Executable specs for the rows of a calibration design matrix.
+
+    Per-row simulation seeds are ``seed + seed_offset + row`` — exactly
+    the sequence the historical serial loops used, so the parallel and
+    memoized paths stay bit-identical with them.
+    """
+    return [
+        InstanceSpec(
+            region_code=region_code,
+            params=dict(zip(space.names, row.tolist())),
+            n_days=n_days,
+            scale=scale,
+            seed=seed + seed_offset + i,
+            label=f"{label_prefix}-c{i}",
+            asset_seed=seed,
+        )
+        for i, row in enumerate(design)
+    ]
+
+
 def run_calibration_workflow(
     region_code: str = "VA",
     *,
@@ -72,6 +141,10 @@ def run_calibration_workflow(
     space: ParameterSpace | None = None,
     mcmc_samples: int = 1200,
     mcmc_burn_in: int = 800,
+    store: ContentStore | None = None,
+    ledger: RunLedger | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
 ) -> CalibrationWorkflowResult:
     """Execute the full calibration workflow for one region.
 
@@ -84,30 +157,25 @@ def run_calibration_workflow(
         seed: master seed.
         space: parameter space override (defaults to the Figure 15 space).
         mcmc_samples / mcmc_burn_in: posterior exploration budget.
+        store: optional result store; instances already present are served
+            instead of simulated (bit-identical either way).
+        ledger: optional run journal for the instance events.
+        parallel / max_workers: cell fan-out controls.
     """
     space = space or case_study_space()
     rng = np.random.default_rng((seed, 11))
     assets = load_region_assets(region_code, scale, seed)
 
     prior = sample_design(space, n_cells, rng)
-    series = np.empty((n_cells, n_days + 1))
-    for i, row in enumerate(prior):
-        params = dict(zip(space.names, row.tolist()))
-        result, model = run_instance(
-            assets, params, n_days=n_days, seed=seed + 1000 + i)
-        series[i] = confirmed_series(result, model, n_days)
+    specs = _design_specs(
+        region_code, space, prior, n_days=n_days, scale=scale, seed=seed,
+        seed_offset=1000, label_prefix=f"{region_code}-cal")
+    outcomes = run_instances_memoized(
+        specs, store=store, ledger=ledger,
+        parallel=parallel, max_workers=max_workers)
+    series = np.vstack([o.confirmed for o in outcomes])
 
-    # Align the simulation clock with the outbreak: surveillance leads
-    # with a quiet importation period, while simulations are seeded "now".
-    # Tick 0 therefore corresponds to the first surveillance day with a
-    # meaningful case count (mirroring the paper's seeding from current
-    # county-level confirmed cases).
-    full = observed_series(assets.truth, scale,
-                           assets.truth.n_days - 1)
-    nz = np.flatnonzero(full >= 1.0)
-    onset = int(nz[0]) if nz.size else 0
-    onset = min(onset, full.shape[0] - (n_days + 1))
-    observed = full[onset: onset + n_days + 1]
+    observed, onset = align_onset(assets.truth, scale, n_days)
 
     calibrator = GPMSACalibrator(
         space, prior, series, observed, seed=seed + 17)
@@ -137,6 +205,10 @@ def run_iterative_calibration(
     seed: int = DEFAULT_SEED,
     mcmc_samples: int = 800,
     mcmc_burn_in: int = 600,
+    store: ContentStore | None = None,
+    ledger: RunLedger | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
 ) -> list[CalibrationWorkflowResult]:
     """Sequential calibration rounds (Figure 16's "continue calibrating
     with more iterations").
@@ -144,7 +216,9 @@ def run_iterative_calibration(
     Round 1 trains on an LHS prior; each later round augments the training
     set with simulations at configurations drawn from the previous round's
     posterior — concentrating emulator accuracy where the posterior lives,
-    the standard sequential-design refinement.
+    the standard sequential-design refinement.  Each round's new cells fan
+    out together, and with a ``store`` any configuration simulated in an
+    earlier call is served instead of re-run.
 
     Returns one :class:`CalibrationWorkflowResult` per round; successive
     posteriors should tighten (or hold) as the emulator improves.
@@ -162,23 +236,20 @@ def run_iterative_calibration(
     run_counter = 0
 
     for round_idx in range(n_rounds):
-        for row in design:
-            params = dict(zip(space.names, row.tolist()))
-            result, model = run_instance(
-                assets, params, n_days=n_days,
-                seed=seed + 3000 + run_counter)
-            run_counter += 1
-            series_rows.append(confirmed_series(result, model, n_days))
-            design_rows.append(row)
+        specs = _design_specs(
+            region_code, space, design, n_days=n_days, scale=scale,
+            seed=seed, seed_offset=3000 + run_counter,
+            label_prefix=f"{region_code}-iter-r{round_idx}")
+        run_counter += len(specs)
+        outcomes = run_instances_memoized(
+            specs, store=store, ledger=ledger,
+            parallel=parallel, max_workers=max_workers)
+        series_rows.extend(o.confirmed for o in outcomes)
+        design_rows.extend(design)
 
         all_design = np.vstack(design_rows)
         all_series = np.vstack(series_rows)
-        full = observed_series(assets.truth, scale,
-                               assets.truth.n_days - 1)
-        nz = np.flatnonzero(full >= 1.0)
-        onset = int(nz[0]) if nz.size else 0
-        onset = min(onset, full.shape[0] - (n_days + 1))
-        observed = full[onset: onset + n_days + 1]
+        observed, onset = align_onset(assets.truth, scale, n_days)
 
         calibrator = GPMSACalibrator(
             space, all_design, all_series, observed,

@@ -22,7 +22,8 @@ from ..cluster.slurm import ScheduleResult
 from ..params import MB, TB
 from ..scheduling.levels import pack_ffdt_dc, pack_nfdt_dc
 from ..scheduling.metrics import execute_packing
-from ..scheduling.wmp import make_nightly_instance
+from ..scheduling.wmp import WMPInstance, make_nightly_instance
+from ..store.ledger import RunLedger, replay_ledger
 from .accounting import account_workflow
 from .designs import ExperimentDesign
 from .engine import WorkflowEngine, WorkflowRun
@@ -57,6 +58,8 @@ class NightlyReport:
     schedule: ScheduleResult
     link: GlobusLink
     window: AccessWindow
+    night_id: str = ""  #: ledger scope: design, algorithm and seed
+    n_resumed: int = 0  #: instances served from the ledger, not re-run
 
     @property
     def fits_window(self) -> bool:
@@ -76,7 +79,7 @@ class NightlyReport:
     def summary(self) -> str:
         """Human-readable night report."""
         acct = account_workflow(self.design)
-        return "\n".join([
+        lines = [
             f"design: {self.design.name} "
             f"({acct.n_simulations} simulations)",
             f"remote makespan: {self.remote_hours:.2f}h "
@@ -84,7 +87,12 @@ class NightlyReport:
             f"fits: {self.fits_window})",
             f"utilization: {self.utilization:.3f}",
             self.link.summary(),
-        ])
+        ]
+        if self.n_resumed:
+            lines.insert(1, f"resumed: {self.n_resumed} instances already "
+                            f"complete in the ledger, "
+                            f"{len(self.schedule.records)} re-executed")
+        return "\n".join(lines)
 
 
 def orchestrate_night(
@@ -95,6 +103,8 @@ def orchestrate_night(
     algorithm: str = "FFDT-DC",
     include_onetime_transfer: bool = False,
     seed: int = 0,
+    ledger: RunLedger | None = None,
+    resume: bool = False,
 ) -> NightlyReport:
     """Run one full nightly cycle for ``design``.
 
@@ -106,7 +116,15 @@ def orchestrate_night(
         include_onetime_transfer: also account the one-time 2TB synthetic
             data staging of Figure 1.
         seed: runtime-draw seed.
+        ledger: optional run journal; every completed instance is recorded
+            so an interrupted night can be resumed.
+        resume: replay ``ledger`` first and re-execute only the instances
+            of this night (same design, algorithm and seed) that it does
+            not already record as completed.
     """
+    if resume and ledger is None:
+        raise ValueError("resume needs a ledger to replay")
+    night_id = f"{design.name}:{algorithm}:seed{seed}"
     link = GlobusLink("rivanna", "bridges")
     acct = account_workflow(design)
     instance = make_nightly_instance(
@@ -116,6 +134,20 @@ def orchestrate_night(
         cluster=cluster,
         seed=seed,
     )
+    # Resume: the full instance is rebuilt deterministically (same seed →
+    # same tasks and runtimes), then the ledger's completed work is
+    # subtracted, so only the missing <cell, region> jobs are re-packed.
+    n_resumed = 0
+    if resume:
+        done = replay_ledger(ledger.path).completed("task_id",
+                                                    night=night_id)
+        remaining = [t for t in instance.tasks if t.task_id not in done]
+        n_resumed = len(instance.tasks) - len(remaining)
+        instance = WMPInstance(
+            tasks=remaining,
+            machine_width=instance.machine_width,
+            db_caps=instance.db_caps,
+        )
     packer = pack_ffdt_dc if algorithm == "FFDT-DC" else pack_nfdt_dc
     state: dict = {}
 
@@ -203,12 +235,29 @@ def orchestrate_night(
     link.records.clear()
     run = WorkflowEngine(tasks).execute()
 
+    # Journal the night only after both passes: the closures run twice,
+    # and the ledger must record each completed instance exactly once.
+    if ledger is not None:
+        ledger.run_started(night=night_id, design=design.name,
+                           n_instances=len(instance.tasks) + n_resumed,
+                           resumed=n_resumed)
+        for rec in schedule.records:
+            ledger.instance_completed(
+                rec.job.job_id, task_id=rec.job.job_id, night=night_id,
+                wall_s=rec.finish - rec.start)
+        ledger.run_completed(night=night_id,
+                             makespan_s=schedule.makespan,
+                             executed=len(schedule.records),
+                             resumed=n_resumed)
+
     return NightlyReport(
         design=design,
         workflow_run=run,
         schedule=schedule,
         link=link,
         window=window,
+        night_id=night_id,
+        n_resumed=n_resumed,
     )
 
 

@@ -73,20 +73,12 @@ def _execute_one(spec: InstanceSpec) -> InstanceOutcome:
 
     Imports happen inside the worker so forked/spawned processes
     initialise cleanly; the per-process ``load_region_assets`` LRU cache
-    amortises input construction across a worker's instances.
+    (inside :func:`~repro.core.runner.execute_spec`) amortises input
+    construction across a worker's instances.
     """
-    from .runner import confirmed_series, load_region_assets, run_instance
+    from .runner import execute_spec
 
-    assets = load_region_assets(spec.region_code, spec.scale,
-                                spec.asset_seed)
-    result, model = run_instance(
-        assets, spec.params, n_days=spec.n_days, seed=spec.seed)
-    return InstanceOutcome(
-        spec=spec,
-        confirmed=confirmed_series(result, model, spec.n_days),
-        attack_rate=result.attack_rate(model),
-        transitions=result.log.size,
-    )
+    return execute_spec(spec)
 
 
 def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:

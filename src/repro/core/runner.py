@@ -117,6 +117,29 @@ def run_instance(
     return result, model
 
 
+def execute_spec(spec) -> "InstanceOutcome":
+    """Execute one :class:`~repro.core.parallel.InstanceSpec` end to end.
+
+    This is the unit of work the fan-out and the result store agree on:
+    build (or reuse) the region assets, run the simulation, and reduce it
+    to the small gathered summary.  Workers call it across process
+    boundaries; :func:`repro.store.memo.run_instances_memoized` calls it
+    only for specs the store cannot serve.
+    """
+    from .parallel import InstanceOutcome
+
+    assets = load_region_assets(spec.region_code, spec.scale,
+                                spec.asset_seed)
+    result, model = run_instance(
+        assets, spec.params, n_days=spec.n_days, seed=spec.seed)
+    return InstanceOutcome(
+        spec=spec,
+        confirmed=confirmed_series(result, model, spec.n_days),
+        attack_rate=result.attack_rate(model),
+        transitions=result.log.size,
+    )
+
+
 def confirmed_series(
     result: SimulationResult, model: Any, n_days: int
 ) -> np.ndarray:

@@ -1,0 +1,190 @@
+"""Content-addressed on-disk blob store for simulation results.
+
+Blobs are compressed npz payloads stored under ``objects/<k[:2]>/<key>.npz``
+(two-level fan-out keeps directories small at hundreds of thousands of
+objects).  The store is safe against the failure modes a 30-week nightly
+pipeline actually meets:
+
+- **Torn writes** — payloads are written to a temp file in the same
+  directory and published with an atomic ``os.replace``; readers never see
+  a half-written blob, and concurrent writers of the same key are
+  last-writer-wins with identical content.
+- **Corrupt blobs** — an unreadable npz is treated as a miss and deleted,
+  so one bad object costs one recomputation, not an operator intervention.
+- **Disk growth** — an optional size bound is enforced by LRU eviction on
+  access time (reads touch the blob's mtime), with eviction counted in the
+  stats alongside hits and misses.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+#: Default size bound (bytes) for the user-level default store.
+DEFAULT_MAX_BYTES: int = 4 * 1024**3
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put/evict counters for one store handle (per-process)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (1.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 1.0
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters as a plain dict (for ledger events and reports)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions}
+
+
+@dataclass
+class ContentStore:
+    """A content-addressed result store rooted at ``root``.
+
+    Attributes:
+        root: store directory (created on first use).
+        max_bytes: size bound enforced after each put (None = unbounded).
+        stats: per-handle counters (disk state is shared across handles,
+            counters are not).
+    """
+
+    root: Path
+    max_bytes: int | None = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+
+    def path_of(self, key: str) -> Path:
+        """On-disk location of ``key`` (whether or not it exists)."""
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"not a hex content key: {key!r}")
+        return self._objects / key[:2] / f"{key}.npz"
+
+    def contains(self, key: str) -> bool:
+        """Whether a blob for ``key`` is present (does not count as a hit)."""
+        return self.path_of(key).exists()
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load a payload, or None on miss.  Hits refresh LRU recency."""
+        path = self.path_of(key)
+        try:
+            with np.load(path) as npz:
+                payload = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, zipfile.BadZipFile, KeyError):
+            # A torn or corrupt blob: drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        os.utime(path, None)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, np.ndarray]) -> Path:
+        """Atomically publish a payload under ``key``.
+
+        An existing blob is left untouched (content-addressed: same key,
+        same bytes), so concurrent writers race harmlessly.
+        """
+        path = self.path_of(key)
+        if path.exists():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        self.stats.puts += 1
+        if self.max_bytes is not None:
+            self.gc(self.max_bytes)
+        return path
+
+    def keys(self) -> Iterator[str]:
+        """All stored content keys."""
+        for blob in self._objects.glob("??/*.npz"):
+            yield blob.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def total_bytes(self) -> int:
+        """Bytes consumed by stored blobs."""
+        return sum(b.stat().st_size
+                   for b in self._objects.glob("??/*.npz"))
+
+    def gc(self, max_bytes: int | None = None) -> list[str]:
+        """Evict least-recently-used blobs until under ``max_bytes``.
+
+        Returns the evicted keys (oldest first).
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None:
+            raise ValueError("gc needs a size bound")
+        blobs = []
+        for blob in self._objects.glob("??/*.npz"):
+            st = blob.stat()
+            blobs.append((st.st_mtime, st.st_size, blob))
+        total = sum(size for _, size, _ in blobs)
+        evicted: list[str] = []
+        for _mtime, size, blob in sorted(blobs):
+            if total <= bound:
+                break
+            blob.unlink(missing_ok=True)
+            total -= size
+            evicted.append(blob.stem)
+            self.stats.evictions += 1
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every blob.  Returns how many were removed."""
+        removed = 0
+        for blob in self._objects.glob("??/*.npz"):
+            blob.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def summary(self) -> str:
+        """One-line disk + counter summary (the CLI ``store stats`` body)."""
+        n = len(self)
+        size = self.total_bytes()
+        bound = "unbounded" if self.max_bytes is None else f"{self.max_bytes:,}"
+        s = self.stats
+        return (f"{self.root}: {n} blobs, {size:,} bytes (bound {bound}); "
+                f"session hits {s.hits} misses {s.misses} "
+                f"puts {s.puts} evictions {s.evictions}")
+
+
+def default_store() -> ContentStore:
+    """The user-level store: ``REPRO_STORE_DIR`` or ``~/.cache/repro/store``.
+
+    The size bound comes from ``REPRO_STORE_MAX_BYTES`` (default 4 GiB).
+    """
+    root = os.environ.get("REPRO_STORE_DIR")
+    path = Path(root) if root else Path.home() / ".cache" / "repro" / "store"
+    max_bytes = int(os.environ.get("REPRO_STORE_MAX_BYTES", DEFAULT_MAX_BYTES))
+    return ContentStore(path, max_bytes=max_bytes)

@@ -1,0 +1,137 @@
+"""Cache-aware instance execution: fan out only what the store lacks.
+
+``run_instances_memoized`` is the drop-in replacement for
+:func:`repro.core.parallel.run_instances` that gives iterative calibration
+rounds and repeated nightly designs their near-free overlap: specs are
+partitioned into store hits and misses, only the misses cross the process
+pool, results are written back as content-addressed blobs, and the output
+list is restored to input order.  Cached and executed results are
+bit-identical because the payload stores the exact float64 series the
+worker produced.
+
+Imports of :mod:`repro.core.parallel` are deferred into the functions —
+``core.calibration_wf`` imports this module at its top level, so a
+module-level import back into ``repro.core`` would be circular (mirroring
+how ``core.parallel`` defers its own ``runner`` imports).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .cas import ContentStore
+from .keys import instance_key
+from .ledger import RunLedger
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, see module doc
+    from ..core.parallel import InstanceOutcome, InstanceSpec
+
+
+def outcome_payload(outcome: "InstanceOutcome") -> dict[str, np.ndarray]:
+    """The storable arrays of one outcome (spec fields live in the key)."""
+    return {
+        "confirmed": np.asarray(outcome.confirmed, dtype=np.float64),
+        "attack_rate": np.asarray(outcome.attack_rate, dtype=np.float64),
+        "transitions": np.asarray(outcome.transitions, dtype=np.int64),
+    }
+
+
+def outcome_from_payload(
+    spec: "InstanceSpec", payload: dict[str, np.ndarray]
+) -> "InstanceOutcome":
+    """Rebuild an outcome for ``spec`` from a stored payload."""
+    from ..core.parallel import InstanceOutcome
+
+    return InstanceOutcome(
+        spec=spec,
+        confirmed=np.asarray(payload["confirmed"], dtype=np.float64),
+        attack_rate=float(payload["attack_rate"]),
+        transitions=int(payload["transitions"]),
+    )
+
+
+def run_instances_memoized(
+    specs: list["InstanceSpec"],
+    *,
+    store: ContentStore | None = None,
+    ledger: RunLedger | None = None,
+    salt: str | None = None,
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> list["InstanceOutcome"]:
+    """Execute instances through the result store.
+
+    Args:
+        specs: the instances (order of results matches the input).
+        store: the content store; None falls back to plain execution.
+        ledger: optional run journal; records a ``cache_hit`` per served
+            instance, an ``instance_completed`` per executed one, and
+            run-level start/complete events with the batch counters.
+        salt: cache-key salt override (defaults to the code-version salt).
+        max_workers / parallel: forwarded to
+            :func:`~repro.core.parallel.run_instances` for the misses.
+
+    Returns:
+        One :class:`~repro.core.parallel.InstanceOutcome` per spec, in
+        input order — bit-identical whether served or executed.
+    """
+    from ..core.parallel import run_instances
+
+    if not specs:
+        return []
+    t0 = time.perf_counter()
+    if ledger is not None:
+        ledger.run_started(n_instances=len(specs),
+                           cached=store is not None)
+    if store is None:
+        outcomes = run_instances(specs, parallel=parallel,
+                                 max_workers=max_workers)
+        if ledger is not None:
+            for o in outcomes:
+                ledger.instance_completed(
+                    instance_key(o.spec, salt=salt), label=o.spec.label)
+            ledger.run_completed(hits=0, misses=len(specs),
+                                 wall_s=time.perf_counter() - t0)
+        return outcomes
+
+    keys = [instance_key(s, salt=salt) for s in specs]
+    # One store lookup per unique key: duplicate specs in a batch are
+    # executed once and fanned back out to every position.
+    payload_of = {k: store.get(k) for k in dict.fromkeys(keys)}
+
+    out: list["InstanceOutcome" | None] = [None] * len(specs)
+    exec_of: dict[str, int] = {}
+    n_hits = 0
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        payload = payload_of[key]
+        if payload is not None:
+            out[i] = outcome_from_payload(spec, payload)
+            n_hits += 1
+            if ledger is not None:
+                ledger.cache_hit(key, label=spec.label)
+        else:
+            exec_of.setdefault(key, i)
+
+    exec_idx = sorted(exec_of.values())
+    executed = run_instances([specs[i] for i in exec_idx],
+                             parallel=parallel, max_workers=max_workers)
+    base_of: dict[str, "InstanceOutcome"] = {}
+    for i, outcome in zip(exec_idx, executed):
+        store.put(keys[i], outcome_payload(outcome))
+        base_of[keys[i]] = outcome
+        if ledger is not None:
+            ledger.instance_completed(keys[i], label=outcome.spec.label)
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        if out[i] is None:
+            base = base_of[key]
+            out[i] = base if base.spec is spec else replace(base, spec=spec)
+    if ledger is not None:
+        ledger.run_completed(hits=n_hits, misses=len(exec_idx),
+                             wall_s=time.perf_counter() - t0,
+                             **{"store_" + k: v
+                                for k, v in store.stats.snapshot().items()})
+    return out  # type: ignore[return-value]

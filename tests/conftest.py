@@ -18,6 +18,21 @@ TEST_SCALE = 1e-3
 TEST_SEED = 424242
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Keep the default result store out of ~/.cache during tests."""
+    import os
+
+    old = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = str(
+        tmp_path_factory.mktemp("result-store"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_STORE_DIR", None)
+    else:
+        os.environ["REPRO_STORE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(TEST_SEED)

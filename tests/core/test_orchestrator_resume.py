@@ -1,0 +1,100 @@
+"""Resumable nights: an interrupted run re-executes only the missing
+instances after replaying its ledger."""
+
+import json
+
+import pytest
+
+from repro.core.designs import ExperimentDesign, factorial_cells
+from repro.core.orchestrator import orchestrate_night
+from repro.store.ledger import RunLedger, replay_ledger
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture()
+def design():
+    return ExperimentDesign(
+        name="mini",
+        cells=factorial_cells({"TAU": [0.2, 0.3]}),
+        regions=("VA", "VT"),
+        replicates=2,
+    )
+
+
+def run_night(design, path, **kwargs):
+    with RunLedger(path) as ledger:
+        return orchestrate_night(design, seed=3, ledger=ledger, **kwargs)
+
+
+def test_full_night_journals_every_instance(design, tmp_path):
+    path = tmp_path / "night.jsonl"
+    report = run_night(design, path)
+    assert report.n_resumed == 0
+    assert len(report.schedule.records) == design.n_simulations
+    replay = replay_ledger(path)
+    done = replay.completed("task_id", night=report.night_id)
+    assert len(done) == len(report.schedule.records)
+    assert replay.count("run_started") == replay.count("run_completed") == 1
+
+
+def test_resume_after_interruption_runs_only_missing(design, tmp_path):
+    full = tmp_path / "full.jsonl"
+    baseline = run_night(design, full)
+    n_jobs = len(baseline.schedule.records)
+
+    # Simulate an interruption: keep only the first half of the journal.
+    events = [json.loads(line) for line in full.read_text().splitlines()]
+    completed = [e for e in events if e["event"] == "instance_completed"]
+    kept = completed[: n_jobs // 2]
+    partial = tmp_path / "partial.jsonl"
+    partial.write_text("".join(json.dumps(e) + "\n" for e in kept))
+
+    resumed = run_night(design, partial, resume=True)
+    assert resumed.n_resumed == len(kept)
+    assert len(resumed.schedule.records) == n_jobs - len(kept)
+    kept_ids = {e["task_id"] for e in kept}
+    ran_ids = {r.job.job_id for r in resumed.schedule.records}
+    assert ran_ids.isdisjoint(kept_ids)
+    assert ran_ids | kept_ids == {r.job.job_id
+                                  for r in baseline.schedule.records}
+    # After the resumed run the journal covers the whole night.
+    done = replay_ledger(partial).completed("task_id",
+                                            night=resumed.night_id)
+    assert done == kept_ids | ran_ids
+
+
+def test_resume_of_complete_night_executes_nothing(design, tmp_path):
+    path = tmp_path / "night.jsonl"
+    run_night(design, path)
+    resumed = run_night(design, path, resume=True)
+    assert len(resumed.schedule.records) == 0
+    assert resumed.n_resumed == design.n_simulations
+    assert resumed.schedule.makespan == 0.0
+    assert resumed.fits_window
+    assert "0 re-executed" in resumed.summary()
+
+
+def test_resume_scoped_by_night_id(design, tmp_path):
+    """A ledger from a different seed does not satisfy this night."""
+    path = tmp_path / "night.jsonl"
+    with RunLedger(path) as ledger:
+        orchestrate_night(design, seed=3, ledger=ledger)
+    with RunLedger(path) as ledger:
+        other = orchestrate_night(design, seed=4, ledger=ledger,
+                                  resume=True)
+    assert other.n_resumed == 0
+    assert len(other.schedule.records) > 0
+
+
+def test_resume_requires_ledger(design):
+    with pytest.raises(ValueError):
+        orchestrate_night(design, resume=True)
+
+
+def test_resumed_night_report_mentions_resume(design, tmp_path):
+    path = tmp_path / "night.jsonl"
+    baseline = run_night(design, path)
+    resumed = run_night(design, path, resume=True)
+    assert resumed.night_id == baseline.night_id
+    assert f"resumed: {resumed.n_resumed}" in resumed.summary()

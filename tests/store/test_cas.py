@@ -1,0 +1,155 @@
+"""Content-addressed blob store: atomicity, eviction, corruption, stats."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store.cas import ContentStore, default_store
+
+pytestmark = pytest.mark.fast
+
+KEY = "ab" * 32
+KEY2 = "cd" * 32
+KEY3 = "ef" * 32
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ContentStore(tmp_path / "store")
+
+
+def payload(n=5, offset=0.0):
+    return {"confirmed": np.arange(n, dtype=np.float64) + offset,
+            "attack_rate": np.asarray(0.25),
+            "transitions": np.asarray(1234, dtype=np.int64)}
+
+
+def test_roundtrip_bit_identical(store):
+    store.put(KEY, payload())
+    got = store.get(KEY)
+    np.testing.assert_array_equal(got["confirmed"], payload()["confirmed"])
+    assert got["confirmed"].dtype == np.float64
+    assert float(got["attack_rate"]) == 0.25
+    assert int(got["transitions"]) == 1234
+
+
+def test_miss_then_hit_counted(store):
+    assert store.get(KEY) is None
+    store.put(KEY, payload())
+    assert store.get(KEY) is not None
+    assert store.stats.misses == 1
+    assert store.stats.hits == 1
+    assert store.stats.puts == 1
+    assert store.stats.hit_rate == 0.5
+
+
+def test_contains_does_not_count(store):
+    assert not store.contains(KEY)
+    store.put(KEY, payload())
+    assert store.contains(KEY)
+    assert store.stats.hits == store.stats.misses == 0
+
+
+def test_no_temp_files_left_behind(store):
+    store.put(KEY, payload())
+    leftovers = [p for p in store.root.rglob("*") if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_put_existing_key_is_noop(store):
+    first = store.put(KEY, payload())
+    mtime = first.stat().st_mtime_ns
+    second = store.put(KEY, payload(offset=99.0))  # same key wins once
+    assert first == second
+    assert first.stat().st_mtime_ns == mtime
+    np.testing.assert_array_equal(store.get(KEY)["confirmed"],
+                                  payload()["confirmed"])
+    assert store.stats.puts == 1
+
+
+def test_invalid_key_rejected(store):
+    with pytest.raises(ValueError):
+        store.path_of("../../etc/passwd")
+    with pytest.raises(ValueError):
+        store.path_of("ZZ" * 32)
+
+
+def test_corrupt_blob_is_a_miss_and_removed(store):
+    store.put(KEY, payload())
+    path = store.path_of(KEY)
+    path.write_bytes(b"definitely not an npz")
+    assert store.get(KEY) is None
+    assert not path.exists()
+    assert store.stats.misses == 1
+
+
+def test_keys_len_total_bytes(store):
+    assert len(store) == 0
+    store.put(KEY, payload())
+    store.put(KEY2, payload(offset=1.0))
+    assert sorted(store.keys()) == sorted([KEY, KEY2])
+    assert len(store) == 2
+    assert store.total_bytes() > 0
+
+
+def test_lru_eviction_drops_oldest(store):
+    store.put(KEY, payload(n=2000))
+    store.put(KEY2, payload(n=2000, offset=1.0))
+    store.put(KEY3, payload(n=2000, offset=2.0))
+    # Make KEY the most recently used despite being written first.
+    past = 1_000_000_000
+    os.utime(store.path_of(KEY2), (past, past))
+    os.utime(store.path_of(KEY3), (past + 1, past + 1))
+    one_blob = store.total_bytes() // 3
+    evicted = store.gc(max_bytes=one_blob + 1)
+    assert evicted == [KEY2, KEY3]
+    assert store.contains(KEY)
+    assert store.stats.evictions == 2
+
+
+def test_get_refreshes_recency(store):
+    store.put(KEY, payload(n=2000))
+    store.put(KEY2, payload(n=2000, offset=1.0))
+    past = 1_000_000_000
+    os.utime(store.path_of(KEY), (past, past))
+    os.utime(store.path_of(KEY2), (past + 1, past + 1))
+    store.get(KEY)  # touch: now newest
+    evicted = store.gc(max_bytes=store.total_bytes() // 2 + 1)
+    assert evicted == [KEY2]
+
+
+def test_put_enforces_bound(tmp_path):
+    store = ContentStore(tmp_path, max_bytes=1)  # everything evicts
+    store.put(KEY, payload())
+    assert len(store) == 0
+    assert store.stats.evictions == 1
+
+
+def test_gc_without_bound_rejected(store):
+    with pytest.raises(ValueError):
+        store.gc()
+
+
+def test_clear(store):
+    store.put(KEY, payload())
+    store.put(KEY2, payload())
+    assert store.clear() == 2
+    assert len(store) == 0
+    assert store.get(KEY) is None
+
+
+def test_summary_mentions_counts(store):
+    store.put(KEY, payload())
+    store.get(KEY)
+    text = store.summary()
+    assert "1 blobs" in text
+    assert "hits 1" in text
+
+
+def test_default_store_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+    monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "12345")
+    store = default_store()
+    assert store.root == tmp_path / "env-store"
+    assert store.max_bytes == 12345

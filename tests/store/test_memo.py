@@ -1,0 +1,126 @@
+"""Cache-aware instance execution: hits, misses, order, bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import InstanceSpec, run_instances
+from repro.store.cas import ContentStore
+from repro.store.keys import instance_key
+from repro.store.ledger import RunLedger, replay_ledger
+from repro.store.memo import (
+    outcome_from_payload,
+    outcome_payload,
+    run_instances_memoized,
+)
+
+
+def make_specs(n=3, region="VT", n_days=20):
+    return [
+        InstanceSpec(region_code=region, params={"TAU": 0.25},
+                     n_days=n_days, scale=1e-3, seed=500 + i,
+                     label=f"m{i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ContentStore(tmp_path / "store")
+
+
+def test_cold_run_matches_plain_execution(store):
+    specs = make_specs()
+    plain = run_instances(specs, parallel=False)
+    memo = run_instances_memoized(specs, store=store, parallel=False)
+    for p, m in zip(plain, memo):
+        assert p.spec == m.spec
+        np.testing.assert_array_equal(p.confirmed, m.confirmed)
+        assert p.attack_rate == m.attack_rate
+        assert p.transitions == m.transitions
+    assert store.stats.misses == len(specs)
+    assert store.stats.puts == len(specs)
+
+
+def test_warm_run_executes_nothing_and_is_bit_identical(store):
+    specs = make_specs()
+    cold = run_instances_memoized(specs, store=store, parallel=False)
+    assert store.stats.misses == len(specs)
+    warm = run_instances_memoized(specs, store=store, parallel=False)
+    assert store.stats.misses == len(specs)  # unchanged: zero executions
+    assert store.stats.hits == len(specs)
+    for c, w in zip(cold, warm):
+        np.testing.assert_array_equal(c.confirmed, w.confirmed)
+        assert c.confirmed.dtype == w.confirmed.dtype == np.float64
+        assert c.attack_rate == w.attack_rate
+        assert c.transitions == w.transitions
+        assert c.spec == w.spec
+
+
+def test_partial_overlap_runs_only_misses(store):
+    run_instances_memoized(make_specs(2), store=store, parallel=False)
+    specs = make_specs(4)  # first two cached, last two new
+    out = run_instances_memoized(specs, store=store, parallel=False)
+    assert [o.spec.label for o in out] == [s.label for s in specs]
+    assert store.stats.hits == 2
+    assert store.stats.misses == 2 + 2  # cold probe of 2 + new probe of 2
+
+
+def test_duplicate_specs_execute_once(store):
+    spec = make_specs(1)[0]
+    twin = InstanceSpec(region_code=spec.region_code, params=spec.params,
+                        n_days=spec.n_days, scale=spec.scale,
+                        seed=spec.seed, label="twin",
+                        asset_seed=spec.asset_seed)
+    out = run_instances_memoized([spec, twin], store=store, parallel=False)
+    assert store.stats.puts == 1  # one execution for both positions
+    np.testing.assert_array_equal(out[0].confirmed, out[1].confirmed)
+    assert out[0].spec.label == spec.label
+    assert out[1].spec.label == "twin"
+
+
+def test_no_store_falls_back_to_plain(tmp_path):
+    specs = make_specs(2)
+    plain = run_instances(specs, parallel=False)
+    memo = run_instances_memoized(specs, store=None, parallel=False)
+    for p, m in zip(plain, memo):
+        np.testing.assert_array_equal(p.confirmed, m.confirmed)
+
+
+def test_empty_specs(store):
+    assert run_instances_memoized([], store=store) == []
+
+
+def test_ledger_records_hits_and_executions(store, tmp_path):
+    ledger = RunLedger(tmp_path / "run.jsonl")
+    specs = make_specs(2)
+    run_instances_memoized(specs, store=store, ledger=ledger,
+                           parallel=False)
+    run_instances_memoized(specs, store=store, ledger=ledger,
+                           parallel=False)
+    replay = replay_ledger(tmp_path / "run.jsonl")
+    assert replay.count("instance_completed") == 2
+    assert replay.count("cache_hit") == 2
+    assert replay.count("run_started") == 2
+    assert replay.count("run_completed") == 2
+    keys = {instance_key(s) for s in specs}
+    assert replay.completed() == keys
+
+
+def test_payload_roundtrip_preserves_outcome():
+    spec = make_specs(1)[0]
+    outcome = run_instances([spec], parallel=False)[0]
+    rebuilt = outcome_from_payload(spec, outcome_payload(outcome))
+    np.testing.assert_array_equal(outcome.confirmed, rebuilt.confirmed)
+    assert rebuilt.attack_rate == outcome.attack_rate
+    assert rebuilt.transitions == outcome.transitions
+    assert rebuilt.spec is spec
+
+
+def test_salt_partitions_the_store(store):
+    specs = make_specs(1)
+    run_instances_memoized(specs, store=store, salt="v1", parallel=False)
+    run_instances_memoized(specs, store=store, salt="v2", parallel=False)
+    assert store.stats.puts == 2  # different salt, different blob
+    run_instances_memoized(specs, store=store, salt="v1", parallel=False)
+    assert store.stats.puts == 2
+    assert store.stats.hits == 1

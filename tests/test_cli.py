@@ -60,3 +60,95 @@ def test_calibrate_small(capsys):
                  "--samples", "100", "--burn-in", "100"]) == 0
     out = capsys.readouterr().out
     assert "TAU" in out and "corr" in out
+
+
+def test_simulate_store_hit(tmp_path, capsys):
+    flags = ["simulate", "VT", "--days", "20",
+             "--store-dir", str(tmp_path / "store")]
+    assert main(flags) == 0
+    cold = capsys.readouterr().out
+    assert "[store hit]" not in cold
+    assert main(flags) == 0
+    warm = capsys.readouterr().out
+    assert "[store hit]" in warm
+    # Identical numbers either way.
+    assert warm.replace(" [store hit]", "") == cold
+
+
+def test_simulate_no_cache_never_hits(tmp_path, capsys):
+    flags = ["simulate", "VT", "--days", "20", "--no-cache",
+             "--store-dir", str(tmp_path / "store")]
+    assert main(flags) == 0
+    assert main(flags) == 0
+    assert "[store hit]" not in capsys.readouterr().out
+    assert not (tmp_path / "store").exists()
+
+
+def test_simulate_csv_from_cache_identical(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+    assert main(["simulate", "VT", "--days", "15", "--store-dir", store,
+                 "--csv", str(a)]) == 0
+    assert main(["simulate", "VT", "--days", "15", "--store-dir", store,
+                 "--csv", str(b)]) == 0
+    assert a.read_text() == b.read_text()
+
+
+def test_simulate_ledger_journal(tmp_path, capsys):
+    ledger = tmp_path / "run.jsonl"
+    flags = ["simulate", "VT", "--days", "15",
+             "--store-dir", str(tmp_path / "store"),
+             "--ledger", str(ledger)]
+    assert main(flags) == 0
+    assert main(flags) == 0
+    from repro.store import replay_ledger
+    replay = replay_ledger(ledger)
+    assert replay.count("instance_completed") == 1
+    assert replay.count("cache_hit") == 1
+
+
+def test_resume_with_no_cache_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "VT", "--days", "10",
+              "--no-cache", "--resume"])
+
+
+def test_calibrate_reports_store_stats(tmp_path, capsys):
+    flags = ["calibrate", "VT", "--cells", "6", "--days", "40",
+             "--samples", "100", "--burn-in", "100",
+             "--store-dir", str(tmp_path / "store")]
+    assert main(flags) == 0
+    cold = capsys.readouterr().out
+    assert "6 misses" in cold
+    assert main(flags) == 0
+    warm = capsys.readouterr().out
+    assert "6 hits" in warm and "100% served" in warm
+
+
+def test_night_resume_roundtrip(tmp_path, capsys):
+    ledger = str(tmp_path / "night.jsonl")
+    assert main(["night", "prediction", "--ledger", ledger]) == 0
+    capsys.readouterr()
+    assert main(["night", "prediction", "--ledger", ledger,
+                 "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "0 re-executed" in out
+    assert "makespan: 0.00h" in out
+
+
+def test_night_resume_requires_ledger(capsys):
+    assert main(["night", "prediction", "--resume"]) == 2
+    assert "needs --ledger" in capsys.readouterr().err
+
+
+def test_store_stats_gc_clear(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["simulate", "VT", "--days", "15",
+                 "--store-dir", store]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", "--dir", store]) == 0
+    assert "1 blobs" in capsys.readouterr().out
+    assert main(["store", "gc", "--dir", store, "--max-bytes", "0"]) == 0
+    assert "evicted 1 blobs" in capsys.readouterr().out
+    assert main(["store", "clear", "--dir", store]) == 0
+    assert "removed 0 blobs" in capsys.readouterr().out
