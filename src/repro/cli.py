@@ -8,11 +8,19 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro calibrate VA --cells 30 --days 80   # case-study-3 calibration
     repro night prediction                    # orchestrate a nightly cycle
     repro store stats                         # result-store maintenance
+    repro trace summarize                     # where did the night go?
 
 ``simulate``, ``calibrate`` and ``night`` are cached through the
 content-addressed result store by default (``--no-cache`` bypasses it) and
 journal to a JSONL run ledger with ``--ledger``; ``night --resume`` replays
 the ledger and re-executes only the instances it does not record.
+
+The same three commands stream a span/metrics trace to a JSONL file
+(``--trace PATH``, default ``REPRO_TRACE_PATH`` or
+``~/.cache/repro/trace.jsonl``; ``--no-trace`` keeps it in memory only).
+``repro trace summarize`` renders the per-night report — engine phase
+breakdown, workflow timeline, store hit rates, transfer volumes — and
+``repro trace export`` emits the JSON form.
 
 Run ``python -m repro.cli <cmd> -h`` for per-command options.
 """
@@ -64,6 +72,27 @@ def _resolve_ledger(args: argparse.Namespace):
     from .store import RunLedger
 
     return RunLedger(Path(args.ledger))
+
+
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    """The shared tracing options."""
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the span/metrics trace to this JSONL file "
+                        "(default REPRO_TRACE_PATH or "
+                        "~/.cache/repro/trace.jsonl)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="keep the trace in memory only, write no file")
+
+
+def _resolve_tracer(args: argparse.Namespace, run_id: str):
+    """The tracer implied by the flags (always a live tracer; with
+    ``--no-trace`` it records in memory without touching disk)."""
+    from .obs import Tracer, default_trace_path
+
+    if args.no_trace:
+        return Tracer(None, run_id=run_id)
+    path = Path(args.trace) if args.trace else default_trace_path()
+    return Tracer(path, run_id=run_id)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -121,28 +150,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         label=f"simulate-{args.region}", asset_seed=args.seed)
     key = instance_key(spec, namespace=SIMULATE_NAMESPACE)
 
-    payload = store.get(key) if store is not None else None
-    cached = payload is not None
-    if payload is None:
-        from .analytics import CONFIRMED, DEATHS, summarize, target_series
-        from .core.runner import load_region_assets, run_instance
+    from .obs import MetricsRegistry
 
-        assets = load_region_assets(args.region, args.scale, args.seed)
-        result, model = run_instance(assets, params, n_days=args.days,
-                                     seed=args.seed)
-        summary = summarize(result, model)
-        payload = {
-            "confirmed": target_series(summary, model, CONFIRMED),
-            "deaths": target_series(summary, model, DEATHS),
-            "attack_rate": np.asarray(result.attack_rate(model)),
-            "peak_day": np.asarray(result.peak_day(model)),
-        }
+    reg = MetricsRegistry()
+    tracer = _resolve_tracer(args, run_id=f"simulate:{args.region}")
+    with tracer, tracer.span(f"simulate:{args.region}", days=args.days,
+                             seed=args.seed) as root:
+        payload = store.get(key) if store is not None else None
+        cached = payload is not None
+        root.attrs["cached"] = cached
+        if payload is None:
+            from .analytics import CONFIRMED, DEATHS, summarize, target_series
+            from .core.runner import load_region_assets, run_instance
+
+            with tracer.span("load-assets"):
+                assets = load_region_assets(args.region, args.scale,
+                                            args.seed)
+            with tracer.span("run-engine"):
+                result, model = run_instance(assets, params,
+                                             n_days=args.days,
+                                             seed=args.seed)
+            reg.merge(result.metrics)
+            summary = summarize(result, model)
+            payload = {
+                "confirmed": target_series(summary, model, CONFIRMED),
+                "deaths": target_series(summary, model, DEATHS),
+                "attack_rate": np.asarray(result.attack_rate(model)),
+                "peak_day": np.asarray(result.peak_day(model)),
+            }
+            if store is not None:
+                store.put(key, payload)
+            if ledger is not None:
+                ledger.instance_completed(key, label=spec.label)
+        elif ledger is not None:
+            ledger.cache_hit(key, label=spec.label)
         if store is not None:
-            store.put(key, payload)
-        if ledger is not None:
-            ledger.instance_completed(key, label=spec.label)
-    elif ledger is not None:
-        ledger.cache_hit(key, label=spec.label)
+            reg.merge(store.metrics)
+        tracer.metrics(reg, scope="simulate")
 
     confirmed = payload["confirmed"]
     deaths = payload["deaths"]
@@ -165,13 +209,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration_wf import run_calibration_workflow
 
+    from .obs import MetricsRegistry, global_registry
+
     store = _resolve_store(args)
     ledger = _resolve_ledger(args)
-    cal = run_calibration_workflow(
-        args.region, n_cells=args.cells, n_days=args.days,
-        scale=args.scale, seed=args.seed,
-        mcmc_samples=args.samples, mcmc_burn_in=args.burn_in,
-        store=store, ledger=ledger)
+    tracer = _resolve_tracer(args, run_id=f"calibrate:{args.region}")
+    with tracer, tracer.span(f"calibrate:{args.region}", cells=args.cells,
+                             days=args.days, seed=args.seed):
+        cal = run_calibration_workflow(
+            args.region, n_cells=args.cells, n_days=args.days,
+            scale=args.scale, seed=args.seed,
+            mcmc_samples=args.samples, mcmc_burn_in=args.burn_in,
+            store=store, ledger=ledger)
+        # Memoized batches publish to the process-global registry (pool
+        # workers ship theirs home); fold in the store's own counters.
+        reg = MetricsRegistry().merge(global_registry())
+        if store is not None:
+            reg.merge(store.metrics)
+        tracer.metrics(reg, scope="calibrate")
     tight = cal.posterior.tightening()
     post = cal.posterior.theta_samples
     print(f"{args.region}: calibrated {args.cells} cells over "
@@ -209,11 +264,34 @@ def _cmd_night(args: argparse.Namespace) -> int:
         print("night --resume needs --ledger PATH to replay",
               file=sys.stderr)
         return 2
-    report = orchestrate_night(design, algorithm=args.algorithm,
-                               seed=args.seed,
-                               ledger=_resolve_ledger(args), resume=resume)
+    tracer = _resolve_tracer(args, run_id=f"night:{args.workflow}")
+    with tracer:
+        report = orchestrate_night(design, algorithm=args.algorithm,
+                                   seed=args.seed,
+                                   ledger=_resolve_ledger(args),
+                                   resume=resume, tracer=tracer)
     print(report.summary())
     return 0 if report.fits_window else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import default_trace_path, export_json, summarize
+
+    path = Path(args.path) if args.path else default_trace_path()
+    if not path.exists():
+        print(f"no trace at {path} (run simulate/calibrate/night first, "
+              f"or pass a path)", file=sys.stderr)
+        return 2
+    if args.action == "summarize":
+        print(summarize(path).render(top=args.top))
+    else:  # export
+        body = export_json(path)
+        if args.output:
+            Path(args.output).write_text(body + "\n", encoding="utf-8")
+            print(f"wrote {args.output}")
+        else:
+            print(body)
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -265,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transmission kernel (result-identical; A/B timing)")
     p.add_argument("--csv", help="write the daily series to this file")
     _add_cache_flags(p)
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("calibrate", help="run the calibration workflow")
@@ -276,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=800)
     p.add_argument("--burn-in", type=int, default=600)
     _add_cache_flags(p)
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("night", help="orchestrate one nightly cycle")
@@ -285,7 +365,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("FFDT-DC", "NFDT-DC"))
     p.add_argument("--seed", type=int, default=0)
     _add_cache_flags(p)
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_night)
+
+    p = sub.add_parser("trace", help="summarize or export a run trace")
+    tsub = p.add_subparsers(dest="action", required=True)
+    sp = tsub.add_parser("summarize", help="per-night text report")
+    sp.add_argument("path", nargs="?",
+                    help="trace file (default: where the last traced "
+                         "command wrote)")
+    sp.add_argument("--top", type=int, default=10,
+                    help="how many slowest spans to list")
+    sp.set_defaults(func=_cmd_trace)
+    sp = tsub.add_parser("export", help="JSON export for dashboards")
+    sp.add_argument("path", nargs="?",
+                    help="trace file (default: where the last traced "
+                         "command wrote)")
+    sp.add_argument("-o", "--output", help="write JSON here, not stdout")
+    sp.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("store", help="inspect or maintain the result store")
     ssub = p.add_subparsers(dest="action", required=True)

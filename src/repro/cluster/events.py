@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs.registry import MetricsRegistry
+
 
 @dataclass(order=True)
 class _Event:
@@ -24,11 +26,19 @@ class _Event:
 class EventLoop:
     """A deterministic discrete-event clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
         self._queue: list[_Event] = []
         self._counter = itertools.count()
         self.now: float = 0.0
-        self.events_processed: int = 0
+        #: ``events.*`` volume accounting (the registry is the source of
+        #: truth; :attr:`events_processed` is the legacy view of it).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.counter("events.processed")
+
+    @property
+    def events_processed(self) -> int:
+        """Events fired so far (reads ``events.processed``)."""
+        return int(self.metrics.value("events.processed"))
 
     def schedule(self, delay: float, handler: Callable[[], None]) -> _Event:
         """Schedule ``handler`` to run ``delay`` time units from now.
@@ -62,7 +72,7 @@ class EventLoop:
             if ev.cancelled:
                 continue
             self.now = ev.time
-            self.events_processed += 1
+            self.metrics.inc("events.processed")
             ev.handler()
         return self.now
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.registry import MetricsRegistry
 from ..params import GB, MB, TB, fmt_bytes
 
 #: Effective wide-area bandwidth between UVA and PSC (bytes/second).
@@ -46,6 +47,10 @@ class GlobusLink:
         bandwidth: bytes per second.
         manual_delay: seconds of human latency before a manually started
             transfer actually begins (Figure 2's human-effort steps).
+        metrics: registry the link publishes into — ``globus.transfers``,
+            ``globus.bytes_out`` (a→b), ``globus.bytes_in`` (b→a) and the
+            ``globus.transfer_s`` timer; pass a shared registry to fold
+            transfer accounting into a night's telemetry.
     """
 
     endpoint_a: str
@@ -53,6 +58,7 @@ class GlobusLink:
     bandwidth: float = DEFAULT_BANDWIDTH
     manual_delay: float = 0.0
     records: list[TransferRecord] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def duration_of(self, size_bytes: int) -> float:
         """Modelled wall-clock for one transfer of ``size_bytes``."""
@@ -73,7 +79,16 @@ class GlobusLink:
             name=name, src=src, dst=dst, size_bytes=size_bytes,
             started_at=now, duration=self.duration_of(size_bytes))
         self.records.append(rec)
+        self.metrics.inc("globus.transfers")
+        self.metrics.inc("globus.bytes_out" if src == self.endpoint_a
+                         else "globus.bytes_in", size_bytes)
+        self.metrics.observe("globus.transfer_s", rec.duration)
         return rec
+
+    def reset_accounting(self) -> None:
+        """Clear the ledger and its registry mirror (re-planned runs)."""
+        self.records.clear()
+        self.metrics.clear("globus.")
 
     # -- ledger ----------------------------------------------------------------
 

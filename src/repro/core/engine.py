@@ -86,11 +86,17 @@ class WorkflowEngine:
             raise WorkflowError("dependency cycle detected")
         return order
 
-    def execute(self, context: dict | None = None) -> WorkflowRun:
+    def execute(self, context: dict | None = None, *,
+                tracer=None) -> WorkflowRun:
         """Run all tasks; returns the provenance and artifact store.
 
         The context dict is passed to every action; actions read inputs
         from ``context["artifacts"]`` and may stash arbitrary state.
+
+        With a :class:`~repro.obs.spans.Tracer`, each task's action runs
+        inside a ``task:<name>`` span carrying the modelled timeline
+        (``modelled_start_s`` / ``modelled_s``) as attributes, so spans
+        the action emits (per-instance records, say) nest under it.
         """
         run = WorkflowRun(context=dict(context or {}))
         run.context["artifacts"] = run.artifacts
@@ -100,7 +106,13 @@ class WorkflowEngine:
             dep_ready = max((finish_times[d] for d in task.deps), default=0.0)
             site_free = run.site_clocks.get(task.site, 0.0)
             start = max(dep_ready, site_free)
-            produced = task.action(run.context) or {}
+            if tracer is not None:
+                with tracer.span(f"task:{name}", site=task.site,
+                                 modelled_start_s=start,
+                                 modelled_s=task.est_duration):
+                    produced = task.action(run.context) or {}
+            else:
+                produced = task.action(run.context) or {}
             for key, artifact in produced.items():
                 if not isinstance(artifact, DataArtifact):
                     raise WorkflowError(

@@ -13,12 +13,14 @@ artifact sizes, so the run reproduces both the data-movement ledger
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..cluster.globus import GlobusLink
 from ..cluster.machines import BRIDGES, NIGHTLY_WINDOW, AccessWindow, ClusterSpec
 from ..cluster.popdb import SNAPSHOT_SECONDS_PER_M
 from ..cluster.slurm import ScheduleResult
+from ..obs.registry import MetricsRegistry
+from ..obs.spans import Tracer
 from ..params import MB, TB
 from ..scheduling.levels import pack_ffdt_dc, pack_nfdt_dc
 from ..scheduling.metrics import execute_packing
@@ -51,6 +53,8 @@ class NightlyReport:
         schedule: the remote-cluster execution.
         link: the Globus ledger.
         window: the access window used.
+        metrics: the night's telemetry (``globus.*``, ``slurm.*``,
+            ``night.*`` namespaces).
     """
 
     design: ExperimentDesign
@@ -60,6 +64,7 @@ class NightlyReport:
     window: AccessWindow
     night_id: str = ""  #: ledger scope: design, algorithm and seed
     n_resumed: int = 0  #: instances served from the ledger, not re-run
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def fits_window(self) -> bool:
@@ -105,6 +110,8 @@ def orchestrate_night(
     seed: int = 0,
     ledger: RunLedger | None = None,
     resume: bool = False,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> NightlyReport:
     """Run one full nightly cycle for ``design``.
 
@@ -121,11 +128,19 @@ def orchestrate_night(
         resume: replay ``ledger`` first and re-execute only the instances
             of this night (same design, algorithm and seed) that it does
             not already record as completed.
+        tracer: optional span tracer; the (second, accurately-timed)
+            workflow pass runs under a ``night:<id>`` root span with one
+            ``task:<name>`` span per workflow task and one modelled
+            ``instance:<job_id>`` span per scheduled simulation job.
+        registry: telemetry sink for the night's ``globus.*`` /
+            ``slurm.*`` / ``night.*`` metrics; a fresh registry is created
+            (and returned on the report) when omitted.
     """
     if resume and ledger is None:
         raise ValueError("resume needs a ledger to replay")
     night_id = f"{design.name}:{algorithm}:seed{seed}"
-    link = GlobusLink("rivanna", "bridges")
+    reg = registry if registry is not None else MetricsRegistry()
+    link = GlobusLink("rivanna", "bridges", metrics=reg)
     acct = account_workflow(design)
     instance = make_nightly_instance(
         cells_per_region=design.n_cells,
@@ -172,7 +187,20 @@ def orchestrate_night(
 
     def simulate(ctx: dict):
         packed = packer(instance)
-        state["schedule"] = execute_packing(packed, cluster=cluster)
+        state["schedule"] = execute_packing(packed, cluster=cluster,
+                                            metrics=reg)
+        if tracer is not None and state.get("trace_instances"):
+            # Modelled per-job spans (simulated Slurm clock), nested under
+            # the live task:run-simulations span of the traced pass.
+            for rec in state["schedule"].records:
+                tracer.modelled_span(
+                    f"instance:{rec.job.job_id}",
+                    start=rec.start,
+                    wall_s=rec.finish - rec.start,
+                    region=rec.job.region_code,
+                    nodes=rec.job.n_nodes,
+                    level=rec.job.level,
+                )
         return {"raw-output": DataArtifact(
             "raw-output", REMOTE, acct.raw_bytes)}
 
@@ -225,15 +253,35 @@ def orchestrate_night(
                 t.deps = t.deps + ("stage-static-data",)
 
     # Two-pass execution: first to obtain the schedule, then rebuild the
-    # simulate task with its true duration for an accurate timeline.
+    # simulate task with its true duration for an accurate timeline.  Only
+    # the second pass is traced and only its telemetry is kept — the
+    # closures run twice, so the first pass's accounting is discarded.
     engine = WorkflowEngine(tasks)
     run = engine.execute()
     schedule = state["schedule"]
     for t in tasks:
         if t.name == "run-simulations":
             t.est_duration = schedule.makespan
-    link.records.clear()
-    run = WorkflowEngine(tasks).execute()
+    link.reset_accounting()
+    reg.clear("slurm.")
+    state["trace_instances"] = True
+    if tracer is not None:
+        with tracer.span(f"night:{night_id}", design=design.name,
+                         algorithm=algorithm,
+                         n_instances=len(instance.tasks)):
+            run = WorkflowEngine(tasks).execute(tracer=tracer)
+    else:
+        run = WorkflowEngine(tasks).execute()
+    schedule = state["schedule"]
+
+    # Night-level headline numbers for the trace report.
+    reg.inc("night.instances", len(schedule.records))
+    reg.gauge("night.makespan_s", schedule.makespan)
+    reg.gauge("night.window_s", window.duration_seconds)
+    reg.gauge("night.fits_window",
+              1.0 if schedule.makespan <= window.duration_seconds else 0.0)
+    if tracer is not None:
+        tracer.metrics(reg, scope="night")
 
     # Journal the night only after both passes: the closures run twice,
     # and the ledger must record each completed instance exactly once.
@@ -258,6 +306,7 @@ def orchestrate_night(
         window=window,
         night_id=night_id,
         n_resumed=n_resumed,
+        metrics=reg,
     )
 
 

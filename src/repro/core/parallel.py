@@ -68,17 +68,24 @@ class InstanceOutcome:
     transitions: int
 
 
-def _execute_one(spec: InstanceSpec) -> InstanceOutcome:
-    """Worker: build/reuse region assets, run, aggregate, return summary.
+def _execute_one(spec: InstanceSpec) -> tuple[InstanceOutcome, dict]:
+    """Worker: run one spec; return its outcome plus a telemetry dump.
 
     Imports happen inside the worker so forked/spawned processes
     initialise cleanly; the per-process ``load_region_assets`` LRU cache
     (inside :func:`~repro.core.runner.execute_spec`) amortises input
     construction across a worker's instances.
+
+    Telemetry that is not embedded in the result object would otherwise
+    die with the worker, so each execution fills a fresh registry and
+    ships its kind-preserving dump home for the parent to merge.
     """
+    from ..obs.registry import MetricsRegistry
     from .runner import execute_spec
 
-    return execute_spec(spec)
+    reg = MetricsRegistry()
+    outcome = execute_spec(spec, metrics=reg)
+    return outcome, reg.dump()
 
 
 def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:
@@ -110,6 +117,7 @@ def run_instances(
     *,
     max_workers: int | None = None,
     parallel: bool = True,
+    registry=None,
 ) -> list[InstanceOutcome]:
     """Execute instances, optionally across a process pool.
 
@@ -119,17 +127,26 @@ def run_instances(
             the number of instances.
         parallel: set False for in-process execution (debugging, or when
             the workload is too small to amortise pool start-up).
+        registry: :class:`~repro.obs.registry.MetricsRegistry` that
+            receives every worker's telemetry dump (``runner.*`` and
+            aggregated ``engine.*``), merged in the parent; defaults to
+            the process :func:`~repro.obs.registry.global_registry`, so
+            pool-worker telemetry is never silently lost.
 
     Returns:
         One :class:`InstanceOutcome` per spec, in input order.
     """
+    from ..obs.registry import global_registry
+
+    sink = registry if registry is not None else global_registry()
     if not specs:
         return []
-    if not parallel or len(specs) == 1:
-        return [_execute_one(s) for s in specs]
     workers = min(max_workers or os.cpu_count() or 1, len(specs))
-    if workers <= 1:
-        return [_execute_one(s) for s in specs]
+    if not parallel or len(specs) == 1 or workers <= 1:
+        pairs = [_execute_one(s) for s in specs]
+        for _outcome, dump in pairs:
+            sink.merge(dump)
+        return [outcome for outcome, _dump in pairs]
 
     order = sorted(range(len(specs)), key=lambda i: _asset_key(specs[i]))
     sorted_specs = [specs[i] for i in order]
@@ -143,9 +160,11 @@ def run_instances(
         sorted_out = list(pool.map(
             _execute_one, sorted_specs,
             chunksize=pool_chunksize(len(specs), workers)))
+    sink.gauge("parallel.workers", workers)
     out: list[InstanceOutcome | None] = [None] * len(specs)
-    for pos, res in zip(order, sorted_out):
+    for pos, (res, dump) in zip(order, sorted_out):
         out[pos] = res
+        sink.merge(dump)
     return out  # type: ignore[return-value]
 
 

@@ -117,7 +117,7 @@ def run_instance(
     return result, model
 
 
-def execute_spec(spec) -> "InstanceOutcome":
+def execute_spec(spec, *, metrics=None) -> "InstanceOutcome":
     """Execute one :class:`~repro.core.parallel.InstanceSpec` end to end.
 
     This is the unit of work the fan-out and the result store agree on:
@@ -125,13 +125,26 @@ def execute_spec(spec) -> "InstanceOutcome":
     to the small gathered summary.  Workers call it across process
     boundaries; :func:`repro.store.memo.run_instances_memoized` calls it
     only for specs the store cannot serve.
+
+    Args:
+        spec: the instance to execute.
+        metrics: registry receiving ``runner.*`` timing plus the run's
+            aggregated ``engine.*`` telemetry; defaults to the process
+            :func:`~repro.obs.registry.global_registry` (pool workers pass
+            a fresh registry and ship its dump back to the parent).
     """
+    from ..obs.registry import global_registry
     from .parallel import InstanceOutcome
 
-    assets = load_region_assets(spec.region_code, spec.scale,
-                                spec.asset_seed)
-    result, model = run_instance(
-        assets, spec.params, n_days=spec.n_days, seed=spec.seed)
+    reg = metrics if metrics is not None else global_registry()
+    with reg.timer("runner.assets_s"):
+        assets = load_region_assets(spec.region_code, spec.scale,
+                                    spec.asset_seed)
+    with reg.timer("runner.simulate_s"):
+        result, model = run_instance(
+            assets, spec.params, n_days=spec.n_days, seed=spec.seed)
+    reg.inc("runner.instances")
+    reg.merge(result.metrics)
     return InstanceOutcome(
         spec=spec,
         confirmed=confirmed_series(result, model, spec.n_days),

@@ -11,11 +11,12 @@ cluster cost model (Figures 7 and 10).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.registry import TIMER, MetricsRegistry
+from ..obs.spans import Tracer
 from ..params import DEFAULT_SEED
 from ..synthpop.activities import HOME
 from ..synthpop.contacts import ContactNetwork
@@ -32,6 +33,22 @@ EDGE_BYTES: int = 40
 NODE_BYTES: int = 24
 SCHEDULED_CHANGE_BYTES: int = 24
 
+#: Work counters (``engine.<name>``) every simulation publishes; pinned so
+#: the legacy ``counters`` view exposes the full key set from tick zero.
+ENGINE_COUNTERS: tuple[str, ...] = (
+    "contacts_evaluated",
+    "transitions",
+    "transmissions",
+    "interventions_fired",
+    "intervention_edge_ops",
+)
+#: Per-phase timers (``engine.<name>``), the Figure 7 runtime breakdown.
+ENGINE_TIMERS: tuple[str, ...] = (
+    "interventions_s",
+    "transmission_s",
+    "progression_s",
+)
+
 
 @dataclass(frozen=True, slots=True)
 class SimulationResult:
@@ -44,7 +61,8 @@ class SimulationResult:
         state_counts: ``(n_days + 1, n_states)`` census per tick; row 0 is
             the post-initialization census.
         memory_series: per-tick estimated resident bytes (Figure 10).
-        counters: work counters for the cost model.
+        metrics: the run's ``engine.*`` telemetry, frozen at completion
+            (a :class:`~repro.obs.registry.MetricsRegistry` copy).
     """
 
     region_code: str
@@ -52,7 +70,17 @@ class SimulationResult:
     log: TransitionLog
     state_counts: np.ndarray
     memory_series: np.ndarray
-    counters: dict[str, int | float]
+    metrics: MetricsRegistry
+
+    @property
+    def counters(self) -> dict[str, int | float]:
+        """Legacy work-counter view (read-only snapshot).
+
+        Same keys and value types as the pre-``repro.obs`` counters dict
+        (``ranks.py`` cost accounting reads these unchanged); mutations
+        affect only the returned copy.
+        """
+        return self.metrics.snapshot(prefix="engine.", strip=True)
 
     def attack_rate(self, model: DiseaseModel) -> float:
         """Fraction of the population ever infected."""
@@ -78,6 +106,8 @@ class Simulation:
         seed: int = DEFAULT_SEED,
         interventions: list[Intervention] | None = None,
         backend: TransmissionBackend | str = TransmissionBackend.AUTO,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if net.n_nodes != pop.size:
             raise ValueError("network and population sizes disagree")
@@ -123,18 +153,27 @@ class Simulation:
         self.recorder = TransitionRecorder()
         self._counts_history: list[np.ndarray] = []
         self._memory_history: list[int] = []
-        self.counters: dict[str, int | float] = {
-            "contacts_evaluated": 0,
-            "transitions": 0,
-            "transmissions": 0,
-            "interventions_fired": 0,
-            "intervention_edge_ops": 0,
-            "interventions_s": 0.0,
-            "transmission_s": 0.0,
-            "progression_s": 0.0,
-        }
+        # Telemetry: all work counters and phase timers live in the shared
+        # registry under ``engine.*``; declared up front so snapshots carry
+        # the full key set even before the first step.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        for name in ENGINE_COUNTERS:
+            self.metrics.counter(f"engine.{name}")
+        for name in ENGINE_TIMERS:
+            self.metrics.declare(f"engine.{name}", TIMER)
 
     # -- derived structures ----------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int | float]:
+        """Legacy work-counter view over the ``engine.*`` registry.
+
+        Read-only snapshot with the historical keys (``transitions``,
+        ``transmission_s``, ...); publication happens through
+        :attr:`metrics`.
+        """
+        return self.metrics.snapshot(prefix="engine.", strip=True)
 
     @property
     def incident(self) -> IncidentEdges:
@@ -178,7 +217,7 @@ class Simulation:
         codes = np.asarray(codes, dtype=np.int8)
         self.health[pids] = codes
         self.recorder.record(self.tick, pids, codes, infectors)
-        self.counters["transitions"] += int(pids.size)
+        self.metrics.inc("engine.transitions", int(pids.size))
         schedule_entries(
             self.model, self.sched, pids, codes, self.pop.age_group, self.rng)
 
@@ -196,44 +235,44 @@ class Simulation:
 
     def step(self) -> None:
         """Advance one tick (interventions, transmission, progression)."""
-        t0 = time.perf_counter()
-        ops_before = self.suppressor.total_operations
-        for iv in self.interventions:
-            if iv.maybe_apply(self):
-                self.counters["interventions_fired"] += 1
-        self.counters["intervention_edge_ops"] += (
-            self.suppressor.total_operations - ops_before)
-        t1 = time.perf_counter()
-        self.counters["interventions_s"] += t1 - t0
+        with self.metrics.timer("engine.interventions_s"):
+            ops_before = self.suppressor.total_operations
+            for iv in self.interventions:
+                if iv.maybe_apply(self):
+                    self.metrics.inc("engine.interventions_fired")
+            self.metrics.inc(
+                "engine.intervention_edge_ops",
+                self.suppressor.total_operations - ops_before)
 
-        # The mask is consumed within this tick only, so it can live in a
-        # preallocated scratch buffer; the frontier/auto kernels also need
-        # the incident CSR (built once, shared with contact tracing).
-        active = self.suppressor.active_mask_into(
-            self.base_active, self._active_scratch)
-        incident = (self.incident
-                    if self.backend is not TransmissionBackend.DENSE
-                    else None)
-        events = transmission_step(
-            self.model, self.health,
-            self.node_susceptibility, self.node_infectivity,
-            self.net.source, self.net.target, active,
-            self.edge_weight, self._duration_f64,
-            self.rng,
-            backend=self.backend, incident=incident,
-        )
-        self.counters["contacts_evaluated"] += events.n_candidates
-        if events.pids.size:
-            self.counters["transmissions"] += int(events.pids.size)
-            self.enter_state(events.pids, events.exposed_codes,
-                             events.infectors)
-        t2 = time.perf_counter()
-        self.counters["transmission_s"] += t2 - t1
+        with self.metrics.timer("engine.transmission_s"):
+            # The mask is consumed within this tick only, so it can live in
+            # a preallocated scratch buffer; the frontier/auto kernels also
+            # need the incident CSR (built once, shared with tracing).
+            active = self.suppressor.active_mask_into(
+                self.base_active, self._active_scratch)
+            incident = (self.incident
+                        if self.backend is not TransmissionBackend.DENSE
+                        else None)
+            events = transmission_step(
+                self.model, self.health,
+                self.node_susceptibility, self.node_infectivity,
+                self.net.source, self.net.target, active,
+                self.edge_weight, self._duration_f64,
+                self.rng,
+                backend=self.backend, incident=incident,
+            )
+            self.metrics.inc("engine.contacts_evaluated",
+                             events.n_candidates)
+            if events.pids.size:
+                self.metrics.inc("engine.transmissions",
+                                 int(events.pids.size))
+                self.enter_state(events.pids, events.exposed_codes,
+                                 events.infectors)
 
-        pids, codes = progression_step(self.sched)
-        if pids.size:
-            self.enter_state(pids, codes)
-        self.counters["progression_s"] += time.perf_counter() - t2
+        with self.metrics.timer("engine.progression_s"):
+            pids, codes = progression_step(self.sched)
+            if pids.size:
+                self.enter_state(pids, codes)
 
         self.tick += 1
         self._counts_history.append(self.current_state_counts())
@@ -252,15 +291,28 @@ class Simulation:
         dynamic = (
             self.suppressor.n_suppressed * SCHEDULED_CHANGE_BYTES
             + self.sched.n_pending * SCHEDULED_CHANGE_BYTES
-            + self.counters["transitions"] * 16
+            + self.metrics.value("engine.transitions") * 16
             + self.suppressor.total_operations * 8
         )
         return self._mem_base + dynamic
 
     def run(self, n_days: int) -> SimulationResult:
-        """Run ``n_days`` ticks and assemble the result."""
+        """Run ``n_days`` ticks and assemble the result.
+
+        With a tracer attached the whole run is one ``engine:run`` span;
+        tracing never touches the RNG stream, so traced and bare runs
+        produce bit-identical outputs.
+        """
         if n_days < 0:
             raise ValueError("n_days must be non-negative")
+        if self.tracer is not None:
+            with self.tracer.span("engine:run",
+                                  region=self.net.region_code,
+                                  n_days=n_days):
+                return self._run(n_days)
+        return self._run(n_days)
+
+    def _run(self, n_days: int) -> SimulationResult:
         if not self._counts_history:
             self._counts_history.append(self.current_state_counts())
             self._memory_history.append(self._memory_estimate())
@@ -272,5 +324,5 @@ class Simulation:
             log=self.recorder.finalize(),
             state_counts=np.vstack(self._counts_history),
             memory_series=np.asarray(self._memory_history, dtype=np.int64),
-            counters=dict(self.counters),
+            metrics=MetricsRegistry().merge(self.metrics.dump("engine.")),
         )

@@ -48,11 +48,14 @@ def execute_packing(
     *,
     cluster: ClusterSpec = BRIDGES,
     reserved_nodes: int | None = None,
+    metrics=None,
 ) -> ScheduleResult:
     """Run a packed workload on the Slurm simulator.
 
     One node per region is reserved for its population database (matching
-    the instance's width reduction) unless overridden.
+    the instance's width reduction) unless overridden.  ``metrics``
+    (a :class:`~repro.obs.registry.MetricsRegistry`) receives the
+    simulator's ``slurm.*`` accounting when given.
     """
     instance = result.instance
     if reserved_nodes is None:
@@ -61,6 +64,7 @@ def execute_packing(
         cluster,
         db_caps=instance.db_caps,
         reserved_nodes=reserved_nodes,
+        metrics=metrics,
     )
     policy = EXECUTION_POLICY[result.algorithm]
     return sim.run(jobs_from_packing(result), policy=policy)

@@ -11,7 +11,7 @@ subsystem is the reproduction's durability layer:
 - :mod:`~repro.store.memo` — cache-aware instance execution.
 """
 
-from .cas import ContentStore, StoreStats, default_store
+from .cas import CASStats, ContentStore, StoreStats, default_store
 from .keys import (
     INSTANCE_NAMESPACE,
     SPEED_ONLY_PARAMS,
@@ -28,6 +28,7 @@ from .memo import (
 )
 
 __all__ = [
+    "CASStats",
     "ContentStore",
     "INSTANCE_NAMESPACE",
     "LedgerReplay",

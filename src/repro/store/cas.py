@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import warnings
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,18 +28,50 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
+
 #: Default size bound (bytes) for the user-level default store.
 DEFAULT_MAX_BYTES: int = 4 * 1024**3
 
+#: The registry names one store handle publishes.
+_STAT_NAMES = ("hits", "misses", "puts", "evictions")
 
-@dataclass
+
 class StoreStats:
-    """Hit/miss/put/evict counters for one store handle (per-process)."""
+    """Deprecated read-only view over a store's ``store.*`` metrics.
 
-    hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    evictions: int = 0
+    The counters themselves live in the store's
+    :class:`~repro.obs.registry.MetricsRegistry` under ``store.hits``,
+    ``store.misses``, ``store.puts`` and ``store.evictions``; this class
+    survives one release so code written against ``store.stats.hits``
+    keeps reading the same numbers.  Constructing it directly (rather
+    than reading it off :attr:`ContentStore.stats`) warns.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        if metrics is None:
+            warnings.warn(
+                "StoreStats is deprecated: store counters now live in the "
+                "store's MetricsRegistry (store.metrics / repro.obs)",
+                DeprecationWarning, stacklevel=2)
+            metrics = MetricsRegistry()
+        self._metrics = metrics
+
+    @property
+    def hits(self) -> int:
+        return int(self._metrics.value("store.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._metrics.value("store.misses"))
+
+    @property
+    def puts(self) -> int:
+        return int(self._metrics.value("store.puts"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._metrics.value("store.evictions"))
 
     @property
     def hit_rate(self) -> float:
@@ -48,8 +81,12 @@ class StoreStats:
 
     def snapshot(self) -> dict[str, int]:
         """Counters as a plain dict (for ledger events and reports)."""
-        return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "evictions": self.evictions}
+        return {name: int(self._metrics.value(f"store.{name}"))
+                for name in _STAT_NAMES}
+
+
+#: The issue-era name for the store counters; same deprecation shim.
+CASStats = StoreStats
 
 
 @dataclass
@@ -59,18 +96,25 @@ class ContentStore:
     Attributes:
         root: store directory (created on first use).
         max_bytes: size bound enforced after each put (None = unbounded).
-        stats: per-handle counters (disk state is shared across handles,
-            counters are not).
+        metrics: per-handle ``store.*`` counters (disk state is shared
+            across handles, counters are not).
     """
 
     root: Path
     max_bytes: int | None = None
-    stats: StoreStats = field(default_factory=StoreStats)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
+        for name in _STAT_NAMES:
+            self.metrics.counter(f"store.{name}")
+
+    @property
+    def stats(self) -> StoreStats:
+        """Legacy read-only counter view (see :class:`StoreStats`)."""
+        return StoreStats(self.metrics)
 
     def path_of(self, key: str) -> Path:
         """On-disk location of ``key`` (whether or not it exists)."""
@@ -89,15 +133,15 @@ class ContentStore:
             with np.load(path) as npz:
                 payload = {name: npz[name] for name in npz.files}
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.metrics.inc("store.misses")
             return None
         except (OSError, ValueError, zipfile.BadZipFile, KeyError):
             # A torn or corrupt blob: drop it and recompute.
             path.unlink(missing_ok=True)
-            self.stats.misses += 1
+            self.metrics.inc("store.misses")
             return None
         os.utime(path, None)
-        self.stats.hits += 1
+        self.metrics.inc("store.hits")
         return payload
 
     def put(self, key: str, payload: Mapping[str, np.ndarray]) -> Path:
@@ -119,7 +163,7 @@ class ContentStore:
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise
-        self.stats.puts += 1
+        self.metrics.inc("store.puts")
         if self.max_bytes is not None:
             self.gc(self.max_bytes)
         return path
@@ -157,7 +201,7 @@ class ContentStore:
             blob.unlink(missing_ok=True)
             total -= size
             evicted.append(blob.stem)
-            self.stats.evictions += 1
+            self.metrics.inc("store.evictions")
         return evicted
 
     def clear(self) -> int:
@@ -173,10 +217,12 @@ class ContentStore:
         n = len(self)
         size = self.total_bytes()
         bound = "unbounded" if self.max_bytes is None else f"{self.max_bytes:,}"
-        s = self.stats
+        m = self.metrics
         return (f"{self.root}: {n} blobs, {size:,} bytes (bound {bound}); "
-                f"session hits {s.hits} misses {s.misses} "
-                f"puts {s.puts} evictions {s.evictions}")
+                f"session hits {int(m.value('store.hits'))} "
+                f"misses {int(m.value('store.misses'))} "
+                f"puts {int(m.value('store.puts'))} "
+                f"evictions {int(m.value('store.evictions'))}")
 
 
 def default_store() -> ContentStore:

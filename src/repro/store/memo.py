@@ -17,12 +17,12 @@ how ``core.parallel`` defers its own ``runner`` imports).
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry, Stopwatch, global_registry
 from .cas import ContentStore
 from .keys import instance_key
 from .ledger import RunLedger
@@ -62,6 +62,7 @@ def run_instances_memoized(
     salt: str | None = None,
     max_workers: int | None = None,
     parallel: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> list["InstanceOutcome"]:
     """Execute instances through the result store.
 
@@ -74,6 +75,9 @@ def run_instances_memoized(
         salt: cache-key salt override (defaults to the code-version salt).
         max_workers / parallel: forwarded to
             :func:`~repro.core.parallel.run_instances` for the misses.
+        registry: receives the batch's ``memo.*`` accounting plus every
+            worker's merged telemetry; defaults to the process
+            :func:`~repro.obs.registry.global_registry`.
 
     Returns:
         One :class:`~repro.core.parallel.InstanceOutcome` per spec, in
@@ -81,21 +85,24 @@ def run_instances_memoized(
     """
     from ..core.parallel import run_instances
 
+    reg = registry if registry is not None else global_registry()
     if not specs:
         return []
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     if ledger is not None:
         ledger.run_started(n_instances=len(specs),
                            cached=store is not None)
     if store is None:
         outcomes = run_instances(specs, parallel=parallel,
-                                 max_workers=max_workers)
+                                 max_workers=max_workers, registry=reg)
+        reg.inc("memo.misses", len(specs))
+        reg.observe("memo.batch_s", watch.elapsed())
         if ledger is not None:
             for o in outcomes:
                 ledger.instance_completed(
                     instance_key(o.spec, salt=salt), label=o.spec.label)
             ledger.run_completed(hits=0, misses=len(specs),
-                                 wall_s=time.perf_counter() - t0)
+                                 wall_s=watch.elapsed())
         return outcomes
 
     keys = [instance_key(s, salt=salt) for s in specs]
@@ -118,7 +125,8 @@ def run_instances_memoized(
 
     exec_idx = sorted(exec_of.values())
     executed = run_instances([specs[i] for i in exec_idx],
-                             parallel=parallel, max_workers=max_workers)
+                             parallel=parallel, max_workers=max_workers,
+                             registry=reg)
     base_of: dict[str, "InstanceOutcome"] = {}
     for i, outcome in zip(exec_idx, executed):
         store.put(keys[i], outcome_payload(outcome))
@@ -129,9 +137,15 @@ def run_instances_memoized(
         if out[i] is None:
             base = base_of[key]
             out[i] = base if base.spec is spec else replace(base, spec=spec)
+    # memo.* counts are per-batch deltas; the store's cumulative session
+    # counters stay on store.metrics (merging them here would double-count
+    # across batches sharing a sink).
+    reg.inc("memo.hits", n_hits)
+    reg.inc("memo.misses", len(exec_idx))
+    reg.observe("memo.batch_s", watch.elapsed())
     if ledger is not None:
         ledger.run_completed(hits=n_hits, misses=len(exec_idx),
-                             wall_s=time.perf_counter() - t0,
+                             wall_s=watch.elapsed(),
                              **{"store_" + k: v
                                 for k, v in store.stats.snapshot().items()})
     return out  # type: ignore[return-value]

@@ -20,17 +20,21 @@ TEST_SEED = 424242
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_result_store(tmp_path_factory):
-    """Keep the default result store out of ~/.cache during tests."""
+    """Keep the default result store and trace out of ~/.cache in tests."""
     import os
 
-    old = os.environ.get("REPRO_STORE_DIR")
+    old = {k: os.environ.get(k)
+           for k in ("REPRO_STORE_DIR", "REPRO_TRACE_PATH")}
     os.environ["REPRO_STORE_DIR"] = str(
         tmp_path_factory.mktemp("result-store"))
+    os.environ["REPRO_TRACE_PATH"] = str(
+        tmp_path_factory.mktemp("trace") / "trace.jsonl")
     yield
-    if old is None:
-        os.environ.pop("REPRO_STORE_DIR", None)
-    else:
-        os.environ["REPRO_STORE_DIR"] = old
+    for key, val in old.items():
+        if val is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = val
 
 
 @pytest.fixture(scope="session")

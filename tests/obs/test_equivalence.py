@@ -1,0 +1,73 @@
+"""Instrumentation must observe, never perturb: bit-identical outputs.
+
+The tracer and registry read clocks and count work, but the simulation's
+RNG stream and state evolution must be untouched — a traced run and a bare
+run of the same seed produce byte-for-byte the same outputs, and the trace
+metrics agree with the legacy counter views exactly (same observations,
+not a parallel measurement).
+"""
+
+import numpy as np
+import pytest
+
+from repro.epihiper import Simulation, uniform_seeds
+from repro.obs import MetricsRegistry, Tracer, summarize
+
+pytestmark = pytest.mark.fast
+
+N_DAYS = 40
+
+
+def _run(vt_assets, covid_model, *, metrics=None, tracer=None):
+    pop, net = vt_assets
+    sim = Simulation(covid_model, pop, net, seed=11,
+                     metrics=metrics, tracer=tracer)
+    sim.seed_infections(uniform_seeds(pop, 5, sim.rng))
+    return sim.run(N_DAYS)
+
+
+def test_traced_run_is_bit_identical(tmp_path, vt_assets, covid_model):
+    bare = _run(vt_assets, covid_model)
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, run_id="equiv") as tr:
+        traced = _run(vt_assets, covid_model,
+                      metrics=MetricsRegistry(), tracer=tr)
+
+    np.testing.assert_array_equal(bare.state_counts, traced.state_counts)
+    np.testing.assert_array_equal(bare.memory_series, traced.memory_series)
+    np.testing.assert_array_equal(bare.log.tick, traced.log.tick)
+    np.testing.assert_array_equal(bare.log.pid, traced.log.pid)
+    np.testing.assert_array_equal(bare.log.state, traced.log.state)
+    np.testing.assert_array_equal(bare.log.infector, traced.log.infector)
+    # Work counters (not clocks) are identical too.
+    for key in ("transitions", "contacts_evaluated", "ticks"):
+        if key in bare.counters:
+            assert bare.counters[key] == traced.counters[key]
+
+
+def test_legacy_counters_view_mirrors_registry(vt_assets, covid_model):
+    result = _run(vt_assets, covid_model)
+    counters = result.counters
+    for key, val in counters.items():
+        assert result.metrics.value(f"engine.{key}") == val
+    # Types preserved: counters int, phase timers float.
+    assert isinstance(counters["transitions"], int)
+    assert isinstance(counters["transmission_s"], float)
+
+
+def test_trace_phase_totals_equal_legacy_counters(tmp_path, vt_assets,
+                                                  covid_model):
+    path = tmp_path / "trace.jsonl"
+    reg = MetricsRegistry()
+    with Tracer(path, run_id="phases") as tr:
+        result = _run(vt_assets, covid_model, metrics=reg, tracer=tr)
+        tr.metrics(reg)
+
+    s = summarize(path)
+    table = {phase: total for phase, total, _ in s.engine_phase_table()}
+    # Same observations on both sides of the JSONL stream — exact equality,
+    # not approximate: there is one measurement, viewed twice.
+    for phase in ("interventions", "transmission", "progression"):
+        assert table[phase] == result.counters[f"{phase}_s"]
+    shares = [share for _, _, share in s.engine_phase_table()]
+    assert sum(shares) == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""End-to-end: a traced orchestrated night yields a complete span tree."""
+
+import pytest
+
+from repro.core.designs import Cell, ExperimentDesign
+from repro.core.orchestrator import orchestrate_night
+from repro.obs import MetricsRegistry, Tracer, summarize
+
+pytestmark = pytest.mark.fast
+
+TASK_NAMES = {
+    "generate-configurations", "transfer-configurations",
+    "start-population-databases", "run-simulations",
+    "aggregate-output", "transfer-summaries", "home-analytics",
+}
+
+
+@pytest.fixture()
+def design():
+    return ExperimentDesign("tiny", (Cell(0), Cell(1)),
+                            ("VA", "VT", "MD"), 2)
+
+
+@pytest.fixture()
+def traced(tmp_path, design):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, run_id="night-e2e") as tr:
+        report = orchestrate_night(design, tracer=tr)
+    return report, summarize(path)
+
+
+def test_every_instance_appears_exactly_once(traced):
+    report, s = traced
+    inst = s.instances()
+    assert len(inst) == len(report.schedule.records) > 0
+    names = [sp.name for sp in inst]
+    assert len(set(names)) == len(names)  # exactly once each
+    assert set(names) == {f"instance:{r.job.job_id}"
+                          for r in report.schedule.records}
+
+
+def test_instances_nest_under_the_run_simulations_task(traced):
+    _, s = traced
+    by_id = {sp.span_id: sp for sp in s.spans}
+    run_sim = next(sp for sp in s.spans
+                   if sp.name == "task:run-simulations")
+    for sp in s.instances():
+        assert sp.modelled
+        assert by_id[sp.parent_id] is run_sim
+
+
+def test_span_tree_shape(traced):
+    _, s = traced
+    roots = [sp for sp in s.spans if sp.parent_id is None]
+    assert len(roots) == 1 and roots[0].name.startswith("night:tiny")
+    tasks = {sp.name.removeprefix("task:") for sp in s.spans
+             if sp.name.startswith("task:")}
+    assert tasks == TASK_NAMES
+    assert s.unfinished == []  # a clean night leaves nothing open
+
+
+def test_instance_spans_match_schedule_timing(traced):
+    report, s = traced
+    by_name = {sp.name: sp for sp in s.instances()}
+    for rec in report.schedule.records:
+        sp = by_name[f"instance:{rec.job.job_id}"]
+        assert sp.start_s == pytest.approx(rec.start)
+        assert sp.wall_s == pytest.approx(rec.finish - rec.start)
+        assert sp.attrs["region"] == rec.job.region_code
+
+
+def test_night_metrics_flow_into_the_trace(traced):
+    report, s = traced
+    m = s.metrics
+    assert m.value("night.instances") == len(report.schedule.records)
+    assert m.value("slurm.jobs") == len(report.schedule.records)
+    assert m.value("globus.transfers") == 2  # configs out, summaries back
+    assert m.value("slurm.makespan_s") == pytest.approx(
+        report.schedule.makespan)
+    # Report-side registry is the same data.
+    assert report.metrics.value("night.instances") == \
+        m.value("night.instances")
+
+
+def test_second_pass_does_not_double_count(design):
+    # The orchestrator runs its closures twice (timeline refinement); the
+    # registry must reflect one night, not two.
+    report = orchestrate_night(design)
+    assert report.metrics.value("slurm.jobs") == \
+        len(report.schedule.records)
+    assert report.metrics.value("globus.transfers") == \
+        len(report.link.records) == 2
+
+
+def test_caller_registry_is_used(design):
+    reg = MetricsRegistry()
+    report = orchestrate_night(design, registry=reg)
+    assert report.metrics is reg
+    assert reg.value("night.instances") == len(report.schedule.records)
+
+
+def test_render_and_export_cover_the_night(traced):
+    import json
+
+    _, s = traced
+    text = s.render()
+    assert "workflow tasks (modelled timeline)" in text
+    assert "run-simulations" in text
+    assert "slurm:" in text and "transfers:" in text
+    doc = json.dumps(s.to_json())
+    assert "night.instances" in doc
+
+
+def test_untraced_night_unchanged(design):
+    plain = orchestrate_night(design)
+    with Tracer() as tr:
+        traced_rep = orchestrate_night(design, tracer=tr)
+    assert plain.schedule.makespan == traced_rep.schedule.makespan
+    assert plain.utilization == traced_rep.utilization
+    assert [r.job.job_id for r in plain.schedule.records] == \
+        [r.job.job_id for r in traced_rep.schedule.records]

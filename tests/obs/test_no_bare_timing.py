@@ -1,0 +1,57 @@
+"""AST lint: ``repro.obs`` owns the monotonic clock.
+
+Ad-hoc ``time.perf_counter()`` pairs are how telemetry fragments: each
+module grows its own timing dict and no report can see across them.  The
+registry's ``timer()`` context manager and ``Stopwatch`` are the only
+sanctioned readers, so everything outside ``repro/obs`` must go through
+them — enforced here over the actual source tree.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro
+
+pytestmark = pytest.mark.fast
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+FORBIDDEN = {"perf_counter", "process_time", "monotonic", "thread_time"}
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        name = None
+        if isinstance(node, ast.Attribute) and node.attr in FORBIDDEN:
+            name = node.attr
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = [a.name for a in node.names if a.name in FORBIDDEN]
+            if bad:
+                name = ", ".join(bad)
+        if name:
+            out.append(f"{path}:{node.lineno}: {name}")
+    return out
+
+
+def test_monotonic_clock_only_read_inside_obs():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if SRC_ROOT / "obs" in path.parents:
+            continue
+        offenders.extend(_violations(path))
+    assert not offenders, (
+        "bare monotonic-clock reads outside repro.obs (use "
+        "MetricsRegistry.timer()/Stopwatch/Tracer.span instead):\n  "
+        + "\n  ".join(offenders))
+
+
+def test_lint_actually_detects(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt0 = time.perf_counter()\n")
+    assert _violations(bad)
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert not _violations(good)

@@ -1,0 +1,127 @@
+"""Span tracer: nesting, timing monotonicity, modelled spans, JSONL stream."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanRecord, Tracer, read_trace
+
+pytestmark = pytest.mark.fast
+
+
+def test_nesting_parent_ids_and_depth():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("mid") as mid:
+            with tr.span("inner") as inner:
+                pass
+    assert outer.parent_id is None and outer.depth == 0
+    assert mid.parent_id == outer.span_id and mid.depth == 1
+    assert inner.parent_id == mid.span_id and inner.depth == 2
+    # Spans close inner-first.
+    assert [s.name for s in tr.spans] == ["inner", "mid", "outer"]
+    assert all(s.finished for s in tr.spans)
+
+
+def test_timing_monotonicity():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("first"):
+            sum(range(1000))
+        with tr.span("second"):
+            sum(range(1000))
+    by_name = {s.name: s for s in tr.spans}
+    outer, first, second = (by_name[n] for n in ("outer", "first", "second"))
+    # Children start at or after the parent, in order.
+    assert outer.start_s <= first.start_s <= second.start_s
+    # A parent's wall time covers its children's.
+    assert outer.wall_s >= first.wall_s + second.wall_s
+    assert all(s.wall_s >= 0.0 and s.cpu_s >= 0.0 for s in tr.spans)
+
+
+def test_sibling_spans_share_parent():
+    tr = Tracer()
+    with tr.span("root"):
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+    by_name = {s.name: s for s in tr.spans}
+    root = by_name["root"]
+    assert by_name["a"].parent_id == root.span_id
+    assert by_name["b"].parent_id == root.span_id
+    assert by_name["a"].span_id != by_name["b"].span_id
+
+
+def test_modelled_span_uses_simulated_clock():
+    tr = Tracer()
+    with tr.span("night"):
+        rec = tr.modelled_span("instance:j0", start=3600.0, wall_s=1800.0,
+                               region="VA")
+    assert rec.modelled and rec.finished
+    assert rec.start_s == 3600.0 and rec.wall_s == 1800.0
+    assert rec.attrs["region"] == "VA"
+    # Nests under the open real span.
+    night = next(s for s in tr.spans if s.name == "night")
+    assert rec.parent_id == night.span_id and rec.depth == 1
+
+
+def test_open_spans_reflect_the_stack():
+    tr = Tracer()
+    assert tr.open_spans == []
+    cm = tr.span("pending")
+    cm.__enter__()
+    assert [s.name for s in tr.open_spans] == ["pending"]
+    cm.__exit__(None, None, None)
+    assert tr.open_spans == []
+
+
+def test_exception_still_closes_span():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("doomed"):
+            raise RuntimeError("boom")
+    assert tr.open_spans == []
+    assert tr.spans[0].finished
+
+
+def test_jsonl_stream_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    reg = MetricsRegistry()
+    reg.inc("x.n", 3)
+    with Tracer(path, run_id="t1") as tr:
+        with tr.span("a", k=1):
+            tr.modelled_span("m", start=0.0, wall_s=2.0)
+        tr.event("note", detail="hello")
+        tr.metrics(reg)
+    events = read_trace(path)
+    kinds = [e["event"] for e in events]
+    assert kinds == ["span_start", "span", "span_end", "annotation",
+                     "metrics"]
+    assert all(e["run_id"] == "t1" for e in events)
+    # Every line is valid standalone JSON (the stream is appendable).
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(events)
+    for line in lines:
+        json.loads(line)
+
+
+def test_fresh_tracer_truncates_previous_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path) as tr:
+        with tr.span("old"):
+            pass
+    with Tracer(path) as tr:
+        with tr.span("new"):
+            pass
+    names = [e.get("name") for e in read_trace(path)]
+    assert "old" not in names and "new" in names
+
+
+def test_pathless_tracer_writes_nothing(tmp_path):
+    tr = Tracer()
+    with tr.span("memory-only"):
+        pass
+    tr.close()
+    assert list(tmp_path.iterdir()) == []
+    assert isinstance(tr.spans[0], SpanRecord)

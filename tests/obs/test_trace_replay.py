@@ -1,0 +1,75 @@
+"""Crash tolerance: torn final lines and unfinished spans still summarize."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, read_trace, summarize
+
+pytestmark = pytest.mark.fast
+
+
+def test_unfinished_spans_surface_not_dropped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    # A night that died mid-flight: open spans, then no clean shutdown.
+    # (The span context managers stay referenced so their finally blocks
+    # — the process's crash would never run them — don't fire via GC.)
+    tr = Tracer(path, run_id="crash")
+    outer = tr.span("night:crashed")
+    outer.__enter__()
+    with tr.span("task:generate-configurations"):
+        pass
+    inner = tr.span("task:run-simulations")
+    inner.__enter__()
+    tr.modelled_span("instance:j0", start=0.0, wall_s=600.0)
+    reg = MetricsRegistry()
+    reg.inc("slurm.jobs", 1)
+    tr.metrics(reg)
+    tr.close()  # the crash point: two spans never ended
+
+    s = summarize(path)
+    # The finished task and the modelled instance survive...
+    names = {sp.name for sp in s.spans}
+    assert "task:generate-configurations" in names
+    assert "instance:j0" in names
+    # ...and the crashed frames are reported, innermost included.
+    open_names = {u["name"] for u in s.unfinished}
+    assert open_names == {"night:crashed", "task:run-simulations"}
+    assert "partial trace" in s.render()
+    assert s.metrics.value("slurm.jobs") == 1
+    del outer, inner  # keep the open frames alive until after the read
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path) as tr:
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+    whole = read_trace(path)
+    # The process died mid-append: the last line is half a record.
+    text = path.read_text()
+    path.write_text(text[:-25])
+    torn = read_trace(path)
+    assert len(torn) == len(whole) - 1
+    s = summarize(path)
+    # Span "b" lost its end event, so it reads as unfinished.
+    assert {sp.name for sp in s.spans} == {"a"}
+    assert [u["name"] for u in s.unfinished] == ["b"]
+
+
+def test_garbage_suffix_does_not_poison_reader(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path) as tr:
+        with tr.span("kept"):
+            pass
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"event": "span_start", "span": 99, "na')  # torn
+    s = summarize(path)
+    assert {sp.name for sp in s.spans} == {"kept"}
+    assert s.unfinished == []
+
+
+def test_missing_trace_reads_empty(tmp_path):
+    assert read_trace(tmp_path / "never-written.jsonl") == ()
+    s = summarize(tmp_path / "never-written.jsonl")
+    assert s.spans == [] and s.n_events == 0
