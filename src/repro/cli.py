@@ -9,6 +9,13 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro night prediction                    # orchestrate a nightly cycle
     repro store stats                         # result-store maintenance
     repro trace summarize                     # where did the night go?
+    repro chaos run VA --inject worker.crash:times=1   # fault drill
+
+``chaos run`` executes a batch twice — clean, then under an injected
+:class:`~repro.resilience.faults.FaultPlan` with supervised retries — and
+verifies the surviving results are bit-identical to the clean run's
+(recovery re-enters the same RNG streams).  ``night --degrade`` sheds the
+lowest-priority replicates when the projected makespan blows the window.
 
 ``simulate``, ``calibrate`` and ``night`` are cached through the
 content-addressed result store by default (``--no-cache`` bypasses it) and
@@ -264,14 +271,129 @@ def _cmd_night(args: argparse.Namespace) -> int:
         print("night --resume needs --ledger PATH to replay",
               file=sys.stderr)
         return 2
+    faults = None
+    if args.inject:
+        from .resilience import DEFAULT_RETRY_POLICY, FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.inject, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"bad --inject spec: {exc}")
     tracer = _resolve_tracer(args, run_id=f"night:{args.workflow}")
     with tracer:
-        report = orchestrate_night(design, algorithm=args.algorithm,
-                                   seed=args.seed,
-                                   ledger=_resolve_ledger(args),
-                                   resume=resume, tracer=tracer)
+        report = orchestrate_night(
+            design, algorithm=args.algorithm, seed=args.seed,
+            ledger=_resolve_ledger(args), resume=resume, tracer=tracer,
+            degrade=args.degrade, min_replicates=args.min_replicates,
+            faults=faults,
+            retry=DEFAULT_RETRY_POLICY if faults is not None else None)
     print(report.summary())
     return 0 if report.fits_window else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.action == "sites":
+        from .resilience.faults import FAULT_SITES
+
+        for site, desc in sorted(FAULT_SITES.items()):
+            print(f"{site:<18} {desc}")
+        return 0
+
+    import numpy as np
+
+    from .core.parallel import InstanceSpec, run_instances, supervise_instances
+    from .obs import MetricsRegistry
+    from .resilience import FaultPlan, RetryPolicy
+    from .store.keys import instance_key
+
+    try:
+        plan = FaultPlan.parse(args.inject or [], seed=args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"bad --inject spec: {exc}")
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        base_delay_s=args.base_delay,
+                        timeout_s=args.timeout,
+                        seed=args.fault_seed)
+    specs = [
+        InstanceSpec(
+            region_code=args.region,
+            params={"TAU": args.tau, "SYMP": 0.65},
+            n_days=args.days, scale=args.scale, seed=args.seed + 17 * i,
+            label=f"chaos-{args.region}-i{i}", asset_seed=args.seed)
+        for i in range(args.instances)
+    ]
+    parallel = not args.serial
+
+    print(f"plan: {plan.describe() or '(no faults)'}")
+    print(f"retry: {args.max_attempts} attempts, "
+          f"base delay {args.base_delay}s"
+          + (f", timeout {args.timeout}s" if args.timeout else ""))
+
+    baseline = run_instances(specs, parallel=parallel,
+                             max_workers=args.workers,
+                             registry=MetricsRegistry())
+
+    reg = MetricsRegistry()
+    ledger = _resolve_ledger(args)
+    res = supervise_instances(specs, parallel=parallel,
+                              max_workers=args.workers, registry=reg,
+                              retry=retry, faults=plan, ledger=ledger)
+    print(f"chaos: {res.summary()}")
+    for name in sorted(reg.names()):
+        if name.startswith(("faults.", "retry.")) and reg.value(name):
+            print(f"  {name} = {int(reg.value(name))}")
+
+    # Optional store leg: publish the surviving results through a faulted
+    # store, so ``cas.corrupt`` plants bad blobs the read path must catch.
+    if args.store_dir:
+        from .store import ContentStore
+
+        store = ContentStore(Path(args.store_dir), faults=plan)
+        keys = [instance_key(s) for s in specs]
+        from .store.memo import outcome_from_payload, outcome_payload
+
+        for key, outcome in zip(keys, res.results):
+            if outcome is not None:
+                store.put(key, outcome_payload(outcome))
+        recovered = 0
+        for i, (key, outcome) in enumerate(zip(keys, res.results)):
+            if outcome is None:
+                continue
+            payload = store.get(key)
+            if payload is None:  # corrupt blob quarantined: re-publish
+                store.put(key, outcome_payload(outcome))
+                payload = store.get(key)
+                recovered += 1
+            if payload is None:
+                print(f"  store: {key[:12]} unrecoverable")
+                return 1
+            res.results[i] = outcome_from_payload(specs[i], payload)
+        print(f"  store: {int(store.metrics.value('faults.cas.corrupt'))} "
+              f"corruptions injected, "
+              f"{int(store.metrics.value('store.corrupt'))} detected, "
+              f"{recovered} recovered; {store.summary()}")
+
+    # The equivalence check: every spec that survived the chaos run must
+    # match the clean run bit for bit.
+    mismatched = []
+    for clean, chaotic in zip(baseline, res.results):
+        if chaotic is None:
+            continue
+        if (not np.array_equal(clean.confirmed, chaotic.confirmed)
+                or clean.attack_rate != chaotic.attack_rate
+                or clean.transitions != chaotic.transitions):
+            mismatched.append(chaotic.spec.label)
+    n_done = len(res.completed())
+    if mismatched:
+        print(f"equivalence: FAILED — {len(mismatched)}/{n_done} surviving "
+              f"results differ from the clean run: "
+              f"{', '.join(mismatched)}")
+        return 1
+    print(f"equivalence: OK — {n_done}/{len(specs)} surviving results "
+          f"bit-identical to the clean run"
+          + (f" ({len(res.quarantined)} quarantined)"
+             if res.quarantined else ""))
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -364,9 +486,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="FFDT-DC",
                    choices=("FFDT-DC", "NFDT-DC"))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--degrade", action="store_true",
+                   help="shed lowest-priority replicates (deterministically, "
+                        "preserving per-cell coverage) when the projected "
+                        "makespan blows the window")
+    p.add_argument("--min-replicates", type=int, default=1,
+                   help="per-cell coverage floor when degrading (default 1)")
+    p.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
+                   help="inject faults (transfer.fail, ledger.torn); "
+                        "repeatable — see 'repro chaos sites'")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-plan seed (deterministic firing)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_night)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection drills against the live runtime")
+    csub = p.add_subparsers(dest="action", required=True)
+    sp = csub.add_parser("sites", help="list the injectable fault sites")
+    sp.set_defaults(func=_cmd_chaos)
+    sp = csub.add_parser(
+        "run",
+        help="run a batch clean, re-run it under injected faults with "
+             "supervised retries, and verify bit-identical survival")
+    sp.add_argument("region")
+    sp.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
+                    help="fault rule, e.g. worker.crash:times=1 or "
+                         "worker.exception:p=0.3,match=i2; repeatable")
+    sp.add_argument("--instances", type=int, default=4)
+    sp.add_argument("--days", type=int, default=30)
+    sp.add_argument("--scale", type=float, default=1e-3)
+    sp.add_argument("--tau", type=float, default=0.18)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--fault-seed", type=int, default=0,
+                    help="fault-plan + backoff-jitter seed")
+    sp.add_argument("--max-attempts", type=int, default=3)
+    sp.add_argument("--base-delay", type=float, default=0.05,
+                    help="backoff base delay in seconds")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="per-attempt timeout in seconds (pooled runs)")
+    sp.add_argument("--workers", type=int, default=None)
+    sp.add_argument("--serial", action="store_true",
+                    help="in-process execution (worker.crash raises "
+                         "instead of killing a pool worker)")
+    sp.add_argument("--ledger", metavar="PATH",
+                    help="journal quarantines to this JSONL ledger")
+    sp.add_argument("--store-dir", metavar="DIR",
+                    help="also round-trip surviving results through a "
+                         "store at DIR (cas.corrupt plants bad blobs "
+                         "the integrity check must catch)")
+    sp.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace", help="summarize or export a run trace")
     tsub = p.add_subparsers(dest="action", required=True)

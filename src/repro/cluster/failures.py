@@ -201,7 +201,10 @@ class FlakyGlobusLink(GlobusLink):
         """Transfer with interruption-restart retries (see class doc)."""
         base = self.duration_of(size_bytes)
         elapsed = 0.0
-        for attempt in range(self.max_retries):
+        # The initial attempt plus max_retries retries: max_retries + 1
+        # chances to succeed, matching the class doc ("retried ... up to
+        # max_retries").  range(max_retries) allowed one retry too few.
+        for attempt in range(self.max_retries + 1):
             if self.rng.random() >= self.failure_probability:
                 break
             wasted = base * float(self.rng.uniform(0.1, 0.9))
@@ -211,7 +214,8 @@ class FlakyGlobusLink(GlobusLink):
                 f"{name} interrupted on attempt {attempt + 1}"))
         else:
             raise RuntimeError(
-                f"transfer {name!r} failed {self.max_retries} times")
+                f"transfer {name!r} failed {self.max_retries + 1} times "
+                f"(initial attempt + {self.max_retries} retries)")
         rec = TransferRecord(
             name=name, src=src, dst=dst, size_bytes=size_bytes,
             started_at=now, duration=elapsed + base)
@@ -232,13 +236,25 @@ class QueueingDatabase:
             raise ValueError("max_connections must be positive")
         self.max_connections = max_connections
         self._release_times: list[float] = []
+        self._clock = float("-inf")  #: latest ``now`` seen (monotonic guard)
         self.waits: list[float] = []
 
     def acquire(self, now: float, hold_seconds: float) -> float:
         """Acquire a slot at ``now`` for ``hold_seconds``.
 
         Returns the actual start time (>= now; later when queued).
+
+        ``now`` inputs must be non-decreasing across calls: slots released
+        before an earlier ``now`` have already been discarded, so a clock
+        that jumps backwards would acquire against a future state.  A
+        regressing ``now`` is clamped to the latest time seen (the caller
+        keeps a consistent queue, at the cost of a conservatively late
+        start); a negative ``hold_seconds`` is an error.
         """
+        if hold_seconds < 0:
+            raise ValueError("hold_seconds must be non-negative")
+        now = max(now, self._clock)
+        self._clock = now
         heap = self._release_times
         while heap and heap[0] <= now:
             heapq.heappop(heap)

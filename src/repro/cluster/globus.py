@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 from ..obs.registry import MetricsRegistry
 from ..params import GB, MB, TB, fmt_bytes
+from ..resilience.faults import FaultPlan, InjectedFault
+from ..resilience.retry import RetryPolicy, TransientError
 
 #: Effective wide-area bandwidth between UVA and PSC (bytes/second).
 DEFAULT_BANDWIDTH: float = 1.2 * GB  # ~10 Gbit/s effective
@@ -51,6 +53,12 @@ class GlobusLink:
             ``globus.bytes_out`` (a→b), ``globus.bytes_in`` (b→a) and the
             ``globus.transfer_s`` timer; pass a shared registry to fold
             transfer accounting into a night's telemetry.
+        faults: optional fault plan; a firing ``transfer.fail`` rule makes
+            an attempt of :meth:`transfer` raise, exercising the retry
+            loop below (keyed by transfer name, so retries of the same
+            transfer advance the rule's attempt count).
+        retry: attempts budget for faulted transfers; defaults to one
+            attempt (no retries) when omitted.
     """
 
     endpoint_a: str
@@ -59,6 +67,8 @@ class GlobusLink:
     manual_delay: float = 0.0
     records: list[TransferRecord] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    faults: FaultPlan | None = None
+    retry: RetryPolicy | None = None
 
     def duration_of(self, size_bytes: int) -> float:
         """Modelled wall-clock for one transfer of ``size_bytes``."""
@@ -70,11 +80,32 @@ class GlobusLink:
         self, name: str, src: str, dst: str, size_bytes: int, *,
         now: float = 0.0,
     ) -> TransferRecord:
-        """Execute (account) a transfer and append it to the ledger."""
+        """Execute (account) a transfer and append it to the ledger.
+
+        Under an active ``transfer.fail`` fault the call retries up to the
+        link's :class:`RetryPolicy` budget (``max_attempts``, default one
+        attempt), counting ``faults.transfer.fail`` per injected failure
+        and ``globus.retries`` per re-attempt; exhausting the budget
+        raises :class:`~repro.resilience.retry.TransientError`.  Only the
+        successful attempt is accounted — a retried transfer appears once
+        in the ledger, exactly as a re-submitted Globus task would.
+        """
         if {src, dst} - {self.endpoint_a, self.endpoint_b}:
             raise ValueError(f"unknown endpoint in {src!r}->{dst!r}")
         if src == dst:
             raise ValueError("src and dst must differ")
+        if self.faults is not None and self.faults.active("transfer.fail"):
+            attempts = self.retry.max_attempts if self.retry else 1
+            for attempt in range(attempts):
+                if not self.faults.fires("transfer.fail", name, attempt):
+                    break
+                self.metrics.inc("faults.transfer.fail")
+                if attempt + 1 >= attempts:
+                    raise TransientError(
+                        f"transfer {name!r} {src}->{dst} failed "
+                        f"{attempts} attempt(s)") from InjectedFault(
+                            "transfer.fail", name)
+                self.metrics.inc("globus.retries")
         rec = TransferRecord(
             name=name, src=src, dst=dst, size_bytes=size_bytes,
             started_at=now, duration=self.duration_of(size_bytes))

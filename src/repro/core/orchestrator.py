@@ -22,6 +22,9 @@ from ..cluster.slurm import ScheduleResult
 from ..obs.registry import MetricsRegistry
 from ..obs.spans import Tracer
 from ..params import MB, TB
+from ..resilience.degrade import degrade_to_window
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import RetryPolicy
 from ..scheduling.levels import pack_ffdt_dc, pack_nfdt_dc
 from ..scheduling.metrics import execute_packing
 from ..scheduling.wmp import WMPInstance, make_nightly_instance
@@ -64,7 +67,14 @@ class NightlyReport:
     window: AccessWindow
     night_id: str = ""  #: ledger scope: design, algorithm and seed
     n_resumed: int = 0  #: instances served from the ledger, not re-run
+    n_shed: int = 0  #: instances shed by deadline-aware degradation
+    shed_task_ids: tuple[str, ...] = ()  #: which ones (journaled too)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the night shed replicates to fit its window."""
+        return self.n_shed > 0
 
     @property
     def fits_window(self) -> bool:
@@ -97,6 +107,9 @@ class NightlyReport:
             lines.insert(1, f"resumed: {self.n_resumed} instances already "
                             f"complete in the ledger, "
                             f"{len(self.schedule.records)} re-executed")
+        if self.degraded:
+            lines.insert(1, f"degraded: shed {self.n_shed} replicate "
+                            f"instances to fit the window")
         return "\n".join(lines)
 
 
@@ -112,6 +125,10 @@ def orchestrate_night(
     resume: bool = False,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    degrade: bool = False,
+    min_replicates: int = 1,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> NightlyReport:
     """Run one full nightly cycle for ``design``.
 
@@ -135,12 +152,24 @@ def orchestrate_night(
         registry: telemetry sink for the night's ``globus.*`` /
             ``slurm.*`` / ``night.*`` metrics; a fresh registry is created
             (and returned on the report) when omitted.
+        degrade: when the projected makespan blows the window, shed the
+            highest replicate tiers (deterministically, preserving at
+            least ``min_replicates`` per <cell, region>) until the night
+            fits; the shed set is journaled as ``work_shed`` events and
+            reported on :attr:`NightlyReport.n_shed`.
+        min_replicates: per-cell coverage floor when degrading.
+        faults: optional fault plan threaded to the Globus link (the
+            ``transfer.fail`` site) and the ledger (``ledger.torn``).
+        retry: retry budget for faulted transfers.
     """
     if resume and ledger is None:
         raise ValueError("resume needs a ledger to replay")
     night_id = f"{design.name}:{algorithm}:seed{seed}"
     reg = registry if registry is not None else MetricsRegistry()
-    link = GlobusLink("rivanna", "bridges", metrics=reg)
+    link = GlobusLink("rivanna", "bridges", metrics=reg,
+                      faults=faults, retry=retry)
+    if faults is not None and ledger is not None and ledger.faults is None:
+        ledger.faults = faults
     acct = account_workflow(design)
     instance = make_nightly_instance(
         cells_per_region=design.n_cells,
@@ -164,6 +193,26 @@ def orchestrate_night(
             db_caps=instance.db_caps,
         )
     packer = pack_ffdt_dc if algorithm == "FFDT-DC" else pack_nfdt_dc
+
+    # Deadline-aware degradation: project the makespan before building the
+    # workflow, and shed the lowest-priority replicates until the night
+    # fits.  Deterministic — no RNG — so a degraded night is reproducible.
+    n_shed = 0
+    shed_task_ids: tuple[str, ...] = ()
+    if degrade:
+        dres = degrade_to_window(
+            instance,
+            window_s=window.duration_seconds,
+            packer=packer,
+            replicates=design.replicates,
+            cluster=cluster,
+            min_replicates=min_replicates,
+            metrics=reg,
+        )
+        instance = dres.instance
+        n_shed = len(dres.shed)
+        shed_task_ids = dres.shed_task_ids
+
     state: dict = {}
 
     def gen_configs(ctx: dict):
@@ -280,6 +329,9 @@ def orchestrate_night(
     reg.gauge("night.window_s", window.duration_seconds)
     reg.gauge("night.fits_window",
               1.0 if schedule.makespan <= window.duration_seconds else 0.0)
+    if n_shed:
+        reg.inc("night.shed_instances", n_shed)
+    reg.gauge("night.degraded", 1.0 if n_shed else 0.0)
     if tracer is not None:
         tracer.metrics(reg, scope="night")
 
@@ -288,7 +340,9 @@ def orchestrate_night(
     if ledger is not None:
         ledger.run_started(night=night_id, design=design.name,
                            n_instances=len(instance.tasks) + n_resumed,
-                           resumed=n_resumed)
+                           resumed=n_resumed, shed=n_shed)
+        for task_id in shed_task_ids:
+            ledger.work_shed(task_id, night=night_id)
         for rec in schedule.records:
             ledger.instance_completed(
                 rec.job.job_id, task_id=rec.job.job_id, night=night_id,
@@ -306,6 +360,8 @@ def orchestrate_night(
         window=window,
         night_id=night_id,
         n_resumed=n_resumed,
+        n_shed=n_shed,
+        shed_task_ids=shed_task_ids,
         metrics=reg,
     )
 

@@ -8,17 +8,27 @@ own region inputs, and only the small aggregated series cross process
 boundaries — the classic scatter/gather layout of the mpi4py guide, with
 ``ProcessPoolExecutor`` standing in for MPI ranks.
 
-Fan-out is *warm*: specs are executed sorted by their asset key
-``(region, scale, asset_seed)`` and handed out in contiguous chunks, so each
-worker's per-process asset LRU actually hits instead of thrashing across
-regions; a pool initializer pre-loads the dominant asset keys once per
-worker so the first instance on every worker starts hot.  Results are
-restored to input order before returning.
+Fan-out is *supervised*, not mapped: each instance is submitted as its own
+future under :func:`repro.resilience.supervisor.supervise_map`, so one
+worker exception no longer aborts the batch, a dead worker rebuilds the
+pool and salvages everything already completed, and specs that keep
+failing are quarantined instead of killing the night (see
+:func:`supervise_instances`).  Because every retry re-runs the same spec
+with the same seed, a recovered batch is bit-identical to an undisturbed
+one.
+
+Fan-out is also *warm*: specs are submitted sorted by their asset key
+``(region, scale, asset_seed)`` so each worker's per-process asset LRU
+mostly hits instead of thrashing across regions, and a pool initializer
+pre-loads the dominant asset keys once per worker so the first instance on
+every worker starts hot.  Results are restored to input order before
+returning.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -27,6 +37,14 @@ from typing import Any
 import numpy as np
 
 from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from ..resilience.faults import CRASH_EXIT_CODE, FaultPlan, InjectedFault
+from ..resilience.retry import RetryPolicy
+from ..resilience.supervisor import (
+    QUARANTINE,
+    RAISE,
+    FanoutResult,
+    supervise_map,
+)
 
 #: Cap on asset keys the pool initializer builds per worker: warming the
 #: dominant regions is a win, rebuilding every region in every worker is not.
@@ -68,7 +86,39 @@ class InstanceOutcome:
     transitions: int
 
 
-def _execute_one(spec: InstanceSpec) -> tuple[InstanceOutcome, dict]:
+def _spec_key(spec: InstanceSpec) -> str:
+    """The operation key faults and backoff jitter match against."""
+    return spec.label or f"{spec.region_code}:{spec.seed}"
+
+
+def _inject_worker_faults(spec: InstanceSpec, attempt: int,
+                          faults: FaultPlan | None, *,
+                          allow_exit: bool) -> None:
+    """Apply the worker-side fault sites for (spec, attempt).
+
+    ``worker.crash`` kills the process hard when ``allow_exit`` (pool
+    workers — the parent sees ``BrokenProcessPool`` and rebuilds); the
+    in-process path raises it as a transient :class:`InjectedFault`
+    instead, since exiting would kill the supervisor itself.
+    """
+    if faults is None:
+        return
+    key = _spec_key(spec)
+    if faults.fires("worker.crash", key, attempt):
+        if allow_exit:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault("worker.crash",
+                            f"{key} attempt {attempt} (in-process)")
+    if faults.fires("worker.exception", key, attempt):
+        raise InjectedFault("worker.exception", f"{key} attempt {attempt}")
+    delay = faults.delay("worker.slow", key, attempt)
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _execute_one(spec: InstanceSpec, attempt: int = 0,
+                 faults: FaultPlan | None = None, *,
+                 allow_exit: bool = False) -> tuple[InstanceOutcome, dict]:
     """Worker: run one spec; return its outcome plus a telemetry dump.
 
     Imports happen inside the worker so forked/spawned processes
@@ -78,14 +128,27 @@ def _execute_one(spec: InstanceSpec) -> tuple[InstanceOutcome, dict]:
 
     Telemetry that is not embedded in the result object would otherwise
     die with the worker, so each execution fills a fresh registry and
-    ships its kind-preserving dump home for the parent to merge.
+    ships its kind-preserving dump home for the parent to merge.  Faults
+    are injected *before* the simulation touches its RNG stream, so a
+    retried attempt reproduces the clean run bit for bit.
     """
     from ..obs.registry import MetricsRegistry
     from .runner import execute_spec
 
+    _inject_worker_faults(spec, attempt, faults, allow_exit=allow_exit)
     reg = MetricsRegistry()
+    if faults is not None and faults.delay("worker.slow",
+                                           _spec_key(spec), attempt) > 0:
+        reg.inc("faults.worker.slow")
     outcome = execute_spec(spec, metrics=reg)
     return outcome, reg.dump()
+
+
+def _execute_one_pooled(spec: InstanceSpec, attempt: int,
+                        faults: FaultPlan | None) -> tuple[InstanceOutcome,
+                                                           dict]:
+    """Pool-worker entry: like :func:`_execute_one`, with hard crashes."""
+    return _execute_one(spec, attempt, faults, allow_exit=True)
 
 
 def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:
@@ -102,14 +165,95 @@ def _warm_worker(asset_keys: tuple[tuple[str, float, int], ...]) -> None:
 
 
 def pool_chunksize(n_specs: int, workers: int) -> int:
-    """Batch size for ``pool.map``: ~4 chunks per worker.
+    """Batch size yielding ~4 contiguous chunks per worker.
 
-    ``chunksize=1`` round-robins specs across workers, which both pays one
-    IPC round-trip per instance and interleaves regions so per-worker asset
-    caches miss; contiguous chunks of the region-sorted spec list keep each
-    worker on one region for a whole chunk.
+    The supervised fan-out submits one future per instance (retries and
+    quarantine need per-instance failure domains), so this no longer
+    feeds a ``pool.map``; it remains the sizing rule for bulk transports
+    that do batch (benchmarks, external executors).
     """
     return max(1, n_specs // (4 * workers))
+
+
+def supervise_instances(
+    specs: list[InstanceSpec],
+    *,
+    max_workers: int | None = None,
+    parallel: bool = True,
+    registry=None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    ledger=None,
+    on_failure: str = QUARANTINE,
+) -> FanoutResult:
+    """Execute instances under supervision; never die mid-batch.
+
+    The resilient core of the fan-out: per-instance futures, retries with
+    deterministic backoff, broken-pool rebuild with salvage of completed
+    results, and quarantine of specs that exhaust their attempts — the
+    batch always returns, with ``result.results[i] is None`` marking
+    quarantined positions and ``result.quarantined`` carrying the report.
+
+    Args:
+        specs: the instances (order of results matches the input).
+        max_workers: pool size; defaults to ``os.cpu_count()`` capped at
+            the number of instances.
+        parallel: set False for in-process execution (debugging, or when
+            the workload is too small to amortise pool start-up).
+        registry: :class:`~repro.obs.registry.MetricsRegistry` receiving
+            every worker's telemetry dump plus the supervisor's
+            ``retry.*`` / ``faults.*`` accounting; defaults to the
+            process :func:`~repro.obs.registry.global_registry`.  Dumps
+            are merged incrementally as results arrive, so telemetry of
+            completed instances survives a mid-batch failure.
+        retry: the retry policy (None = single attempt, no backoff; pool
+            rebuilds stay active).
+        faults: optional fault-injection plan, threaded to every worker.
+        ledger: optional run journal; quarantines are recorded as
+            ``instance_failed`` events with ``quarantined=True``.
+        on_failure: ``"quarantine"`` (default) or ``"raise"``.
+
+    Returns:
+        A :class:`~repro.resilience.supervisor.FanoutResult` whose
+        ``results`` are :class:`InstanceOutcome` (or None), input order.
+    """
+    from ..obs.registry import global_registry
+
+    sink = registry if registry is not None else global_registry()
+    if not specs:
+        return supervise_map(_execute_one, [], registry=sink)
+    workers = min(max_workers or os.cpu_count() or 1, len(specs))
+    keys = [_spec_key(s) for s in specs]
+
+    def merge_dump(_i: int, pair: tuple[InstanceOutcome, dict]) -> None:
+        sink.merge(pair[1])
+
+    if not parallel or len(specs) == 1 or workers <= 1:
+        res = supervise_map(
+            _execute_one, specs, keys=keys, retry=retry, faults=faults,
+            on_failure=on_failure, registry=sink, ledger=ledger,
+            on_result=merge_dump)
+    else:
+        order = sorted(range(len(specs)), key=lambda i: _asset_key(specs[i]))
+        freq = Counter(_asset_key(s) for s in specs)
+        warm_keys = tuple(k for k, _ in freq.most_common(MAX_PRELOAD_ASSETS))
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker,
+                initargs=(warm_keys,),
+            )
+
+        res = supervise_map(
+            _execute_one, specs, keys=keys, make_pool=make_pool,
+            pool_fn=_execute_one_pooled, submit_order=order, retry=retry,
+            faults=faults, on_failure=on_failure, registry=sink,
+            ledger=ledger, on_result=merge_dump)
+        sink.gauge("parallel.workers", workers)
+    res.results = [pair[0] if pair is not None else None
+                   for pair in res.results]
+    return res
 
 
 def run_instances(
@@ -118,8 +262,18 @@ def run_instances(
     max_workers: int | None = None,
     parallel: bool = True,
     registry=None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[InstanceOutcome]:
     """Execute instances, optionally across a process pool.
+
+    The historical all-or-nothing contract: every spec's outcome, in
+    input order, or the first unrecoverable exception.  Internally this
+    is :func:`supervise_instances` with ``on_failure="raise"`` — worker
+    loss still rebuilds the pool, and a :class:`RetryPolicy` (when given)
+    still retries transient failures; only exhaustion propagates.  Night
+    orchestration and chaos runs use :func:`supervise_instances` directly
+    to get partial results plus a quarantine report instead.
 
     Args:
         specs: the instances (order of results matches the input).
@@ -132,40 +286,16 @@ def run_instances(
             aggregated ``engine.*``), merged in the parent; defaults to
             the process :func:`~repro.obs.registry.global_registry`, so
             pool-worker telemetry is never silently lost.
+        retry: optional retry policy for transient worker failures.
+        faults: optional fault-injection plan (chaos testing).
 
     Returns:
         One :class:`InstanceOutcome` per spec, in input order.
     """
-    from ..obs.registry import global_registry
-
-    sink = registry if registry is not None else global_registry()
-    if not specs:
-        return []
-    workers = min(max_workers or os.cpu_count() or 1, len(specs))
-    if not parallel or len(specs) == 1 or workers <= 1:
-        pairs = [_execute_one(s) for s in specs]
-        for _outcome, dump in pairs:
-            sink.merge(dump)
-        return [outcome for outcome, _dump in pairs]
-
-    order = sorted(range(len(specs)), key=lambda i: _asset_key(specs[i]))
-    sorted_specs = [specs[i] for i in order]
-    freq = Counter(_asset_key(s) for s in specs)
-    warm_keys = tuple(k for k, _ in freq.most_common(MAX_PRELOAD_ASSETS))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_warm_worker,
-        initargs=(warm_keys,),
-    ) as pool:
-        sorted_out = list(pool.map(
-            _execute_one, sorted_specs,
-            chunksize=pool_chunksize(len(specs), workers)))
-    sink.gauge("parallel.workers", workers)
-    out: list[InstanceOutcome | None] = [None] * len(specs)
-    for pos, (res, dump) in zip(order, sorted_out):
-        out[pos] = res
-        sink.merge(dump)
-    return out  # type: ignore[return-value]
+    res = supervise_instances(
+        specs, max_workers=max_workers, parallel=parallel,
+        registry=registry, retry=retry, faults=faults, on_failure=RAISE)
+    return res.results  # type: ignore[return-value] — RAISE means no Nones
 
 
 def specs_for_design(

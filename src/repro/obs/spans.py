@@ -76,12 +76,17 @@ class Tracer:
     """Records a span tree, optionally streaming events to a JSONL file."""
 
     def __init__(self, path: str | Path | None = None, *,
-                 run_id: str | None = None, fresh: bool = True) -> None:
+                 run_id: str | None = None, fresh: bool = True,
+                 faults=None) -> None:
         """Args:
             path: JSONL trace file; None keeps the trace in memory only.
             run_id: stamped on every event (ties a trace to a night).
             fresh: truncate an existing file first — one trace file is one
                 run; within the run every event is appended and flushed.
+            faults: optional :class:`~repro.resilience.faults.FaultPlan`
+                forwarded to the trace's journal; ``ledger.torn`` rules
+                tear trace lines exactly as they tear run-ledger lines
+                (chaos-testing the reader's crash tolerance).
         """
         self.spans: list[SpanRecord] = []
         self._stack: list[SpanRecord] = []
@@ -96,7 +101,7 @@ class Tracer:
             path = Path(path)
             if fresh and path.exists():
                 path.unlink()
-            self._ledger = RunLedger(path, run_id=run_id)
+            self._ledger = RunLedger(path, run_id=run_id, faults=faults)
 
     # -- real spans ------------------------------------------------------------
 

@@ -1,0 +1,223 @@
+"""Deterministic, seedable fault injection for the *live* execution path.
+
+The paper's pipeline ran nightly "for over 30 weeks without interruption"
+(Section VII) — a claim about operations, not luck.  Reproducing that
+robustness requires injecting the failures the production system tolerated
+into the real runtime (worker processes, the blob store, the transfer
+link, the run journal), not only into the modelled cluster of
+:mod:`repro.cluster.failures`.  A :class:`FaultPlan` is the injection
+surface: a picklable, stateless recipe that every layer consults at its
+fault site, so one plan can follow a spec across process boundaries and a
+retried operation deterministically re-encounters (or escapes) its fault.
+
+Fault sites
+-----------
+
+==================  =========================================================
+site                where it fires
+==================  =========================================================
+``worker.crash``    pool worker dies hard (``os._exit``) before executing
+``worker.exception``  pool worker raises a transient error before executing
+``worker.slow``     pool worker sleeps ``delay_s`` before executing
+``cas.corrupt``     :meth:`repro.store.cas.ContentStore.put` publishes a
+                    blob whose integrity digest does not match its payload
+``transfer.fail``   :meth:`repro.cluster.globus.GlobusLink.transfer` attempt
+                    fails (retried under the link's policy)
+``ledger.torn``     :meth:`repro.store.ledger.RunLedger.append` writes a
+                    truncated line (the record is lost, the file survives)
+==================  =========================================================
+
+Determinism is the load-bearing property: whether a rule fires depends only
+on ``(plan seed, site, operation key, attempt)`` through a keyed hash —
+never on wall-clock, call order, or process identity.  That is what makes
+the chaos-equivalence guarantee testable: a faulted run retries into the
+same RNG streams as a clean run and produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Every fault site a plan may target, with where it fires (the mapping
+#: supports ``site in FAULT_SITES`` checks and the ``chaos sites`` listing).
+FAULT_SITES: dict[str, str] = {
+    "worker.crash": "pool worker dies hard (os._exit) before executing",
+    "worker.exception": "worker raises a transient error before executing",
+    "worker.slow": "worker sleeps delay_s before executing",
+    "cas.corrupt": "store publishes a blob whose digest does not match",
+    "transfer.fail": "a Globus transfer attempt fails (retried)",
+    "ledger.torn": "the ledger writes a truncated line (record lost)",
+}
+
+#: Exit code an injected ``worker.crash`` dies with (distinctive in logs).
+CRASH_EXIT_CODE: int = 17
+
+
+class InjectedFault(RuntimeError):
+    """An error raised by an injected fault (picklable across workers).
+
+    Attributes:
+        site: the fault site that fired.
+        detail: the operation key and attempt the fault hit.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        super().__init__(site, detail)
+        self.site = site
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"injected {self.site} ({self.detail})"
+
+
+def hash_uniform(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in [0, 1) keyed by ``parts``.
+
+    Stateless by construction: the same (seed, parts) always yields the
+    same value, in any process, regardless of how many other draws
+    happened — the property that keeps fault plans reproducible across
+    pool workers and retries.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(seed)).encode())
+    for part in parts:
+        h.update(b"\x1f")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest(), "big") / 2.0**64
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One injection rule: where, how often, and against what.
+
+    Attributes:
+        site: one of :data:`FAULT_SITES`.
+        probability: chance the rule fires per eligible operation (drawn
+            deterministically from the plan seed; 1.0 = always).
+        times: fire only on attempts ``< times`` of each operation (None =
+            every attempt).  ``times=1`` is the canonical "fail once, then
+            recover" rule.
+        match: substring the operation key must contain ("" matches all).
+        delay_s: for ``worker.slow``, how long the worker sleeps.
+    """
+
+    site: str
+    probability: float = 1.0
+    times: int | None = None
+    match: str = ""
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r} "
+                f"(one of {', '.join(FAULT_SITES)})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None)")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultRule":
+        """Parse a CLI rule spec: ``site[:k=v,...]``.
+
+        Examples: ``worker.crash:times=1``, ``cas.corrupt:p=0.5``,
+        ``worker.slow:delay=0.2,match=VT``.
+        """
+        site, _, rest = text.partition(":")
+        kwargs: dict[str, object] = {}
+        if rest:
+            for item in rest.split(","):
+                key, eq, val = item.partition("=")
+                if not eq:
+                    raise ValueError(f"bad fault option {item!r} "
+                                     f"(expected k=v)")
+                key = key.strip()
+                if key in ("p", "probability"):
+                    kwargs["probability"] = float(val)
+                elif key == "times":
+                    kwargs["times"] = int(val)
+                elif key == "match":
+                    kwargs["match"] = val
+                elif key in ("delay", "delay_s"):
+                    kwargs["delay_s"] = float(val)
+                else:
+                    raise ValueError(f"unknown fault option {key!r}")
+        return cls(site=site.strip(), **kwargs)  # type: ignore[arg-type]
+
+    def applies(self, key: str, attempt: int) -> bool:
+        """Whether this rule is eligible for (key, attempt) before the
+        probability draw."""
+        if self.match and self.match not in key:
+            return False
+        if self.times is not None and attempt >= self.times:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded set of fault rules, consulted at every fault site.
+
+    The plan is frozen and carries no mutable state, so it pickles to pool
+    workers and every consumer — parent, worker, retry — sees the same
+    deterministic decisions.  An empty plan (no rules) never fires, which
+    is what every layer defaults to in production.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, specs: list[str] | tuple[str, ...],
+              seed: int = 0) -> "FaultPlan":
+        """Build a plan from CLI rule specs (see :meth:`FaultRule.parse`)."""
+        return cls(rules=tuple(FaultRule.parse(s) for s in specs), seed=seed)
+
+    def active(self, site: str) -> bool:
+        """Whether any rule targets ``site`` at all (cheap pre-check)."""
+        return any(r.site == site for r in self.rules)
+
+    def fires(self, site: str, key: str = "", attempt: int = 0) -> bool:
+        """Whether the fault at ``site`` fires for (key, attempt)."""
+        for rule in self.rules:
+            if rule.site != site or not rule.applies(key, attempt):
+                continue
+            if rule.probability >= 1.0:
+                return True
+            if hash_uniform(self.seed, site, key, attempt) < rule.probability:
+                return True
+        return False
+
+    def delay(self, site: str, key: str = "", attempt: int = 0) -> float:
+        """Injected delay for ``site`` (0.0 when no slow rule fires)."""
+        total = 0.0
+        for rule in self.rules:
+            if rule.site != site or not rule.applies(key, attempt):
+                continue
+            if rule.probability >= 1.0 or hash_uniform(
+                    self.seed, site, key, attempt) < rule.probability:
+                total += rule.delay_s
+        return total
+
+    def describe(self) -> str:
+        """One-line human summary (the chaos CLI header)."""
+        if not self.rules:
+            return "no faults"
+        parts = []
+        for r in self.rules:
+            bits = [r.site]
+            if r.probability < 1.0:
+                bits.append(f"p={r.probability:g}")
+            if r.times is not None:
+                bits.append(f"times={r.times}")
+            if r.match:
+                bits.append(f"match={r.match}")
+            if r.delay_s:
+                bits.append(f"delay={r.delay_s:g}s")
+            parts.append(":".join([bits[0], ",".join(bits[1:])])
+                         if len(bits) > 1 else bits[0])
+        return " ".join(parts) + f" (seed {self.seed})"

@@ -9,8 +9,11 @@ pipeline actually meets:
   directory and published with an atomic ``os.replace``; readers never see
   a half-written blob, and concurrent writers of the same key are
   last-writer-wins with identical content.
-- **Corrupt blobs** — an unreadable npz is treated as a miss and deleted,
-  so one bad object costs one recomputation, not an operator intervention.
+- **Corrupt blobs** — every payload is published with an integrity digest
+  (checksum on write) that is verified on read; an unreadable or
+  digest-mismatched blob is quarantined under ``quarantine/`` and treated
+  as a miss, so one bad object costs one recomputation (and leaves the
+  evidence behind), not an operator intervention.
 - **Disk growth** — an optional size bound is enforced by LRU eviction on
   access time (reads touch the blob's mtime), with eviction counted in the
   stats alongside hits and misses.
@@ -18,10 +21,12 @@ pipeline actually meets:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 import warnings
 import zipfile
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping
@@ -29,12 +34,36 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..obs.registry import MetricsRegistry
+from ..resilience.faults import FaultPlan
 
 #: Default size bound (bytes) for the user-level default store.
 DEFAULT_MAX_BYTES: int = 4 * 1024**3
 
 #: The registry names one store handle publishes.
-_STAT_NAMES = ("hits", "misses", "puts", "evictions")
+_STAT_NAMES = ("hits", "misses", "puts", "evictions", "corrupt")
+
+#: Reserved payload entry carrying the integrity digest.
+DIGEST_KEY = "__digest__"
+
+
+def payload_digest(payload: Mapping[str, np.ndarray]) -> np.ndarray:
+    """SHA-256 over a payload's names, dtypes, shapes and bytes.
+
+    Computed over the decoded arrays (not the compressed file), so it
+    catches exactly what the zip layer's CRC cannot: payloads that still
+    decompress but no longer say what was written — a truncated array, a
+    partially applied write, a tampered entry.
+    """
+    h = hashlib.sha256()
+    for name in sorted(payload):
+        if name == DIGEST_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return np.frombuffer(h.digest(), dtype=np.uint8).copy()
 
 
 class StoreStats:
@@ -74,6 +103,10 @@ class StoreStats:
         return int(self._metrics.value("store.evictions"))
 
     @property
+    def corrupt(self) -> int:
+        return int(self._metrics.value("store.corrupt"))
+
+    @property
     def hit_rate(self) -> float:
         """Hits over lookups (1.0 when nothing was looked up)."""
         lookups = self.hits + self.misses
@@ -98,18 +131,41 @@ class ContentStore:
         max_bytes: size bound enforced after each put (None = unbounded).
         metrics: per-handle ``store.*`` counters (disk state is shared
             across handles, counters are not).
+        faults: optional fault plan; a firing ``cas.corrupt`` rule makes
+            :meth:`put` publish a blob whose digest does not match, so the
+            read-side integrity path is exercisable on real runs.
     """
 
     root: Path
     max_bytes: int | None = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
+        self._put_seq: Counter = Counter()
         for name in _STAT_NAMES:
             self.metrics.counter(f"store.{name}")
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt blobs are moved for post-mortem inspection."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt blob out of the object tree (best effort)."""
+        self.metrics.inc("store.corrupt")
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+
+    def quarantined_keys(self) -> list[str]:
+        """Content keys currently held in quarantine (sorted)."""
+        return sorted(b.stem for b in self.quarantine_dir.glob("*.npz"))
 
     @property
     def stats(self) -> StoreStats:
@@ -127,7 +183,14 @@ class ContentStore:
         return self.path_of(key).exists()
 
     def get(self, key: str) -> dict[str, np.ndarray] | None:
-        """Load a payload, or None on miss.  Hits refresh LRU recency."""
+        """Load and verify a payload, or None on miss.
+
+        Integrity is checked against the digest embedded at
+        :meth:`put` time; an unreadable blob or a digest mismatch is
+        quarantined and reads as a miss, so corruption costs one
+        recomputation instead of propagating bad arrays downstream.
+        Hits refresh LRU recency.
+        """
         path = self.path_of(key)
         try:
             with np.load(path) as npz:
@@ -136,8 +199,15 @@ class ContentStore:
             self.metrics.inc("store.misses")
             return None
         except (OSError, ValueError, zipfile.BadZipFile, KeyError):
-            # A torn or corrupt blob: drop it and recompute.
-            path.unlink(missing_ok=True)
+            # A torn or unreadable blob: quarantine it and recompute.
+            self._quarantine(path)
+            self.metrics.inc("store.misses")
+            return None
+        digest = payload.pop(DIGEST_KEY, None)
+        if digest is not None and not np.array_equal(
+                np.asarray(digest), payload_digest(payload)):
+            # Decompressed fine but does not say what was written.
+            self._quarantine(path)
             self.metrics.inc("store.misses")
             return None
         os.utime(path, None)
@@ -145,20 +215,33 @@ class ContentStore:
         return payload
 
     def put(self, key: str, payload: Mapping[str, np.ndarray]) -> Path:
-        """Atomically publish a payload under ``key``.
+        """Atomically publish a payload under ``key``, digest included.
 
         An existing blob is left untouched (content-addressed: same key,
-        same bytes), so concurrent writers race harmlessly.
+        same bytes), so concurrent writers race harmlessly.  The payload
+        is stored alongside its :func:`payload_digest` so :meth:`get` can
+        verify integrity; a firing ``cas.corrupt`` fault inverts the
+        stored digest, planting a corruption the read path must catch.
         """
         path = self.path_of(key)
         if path.exists():
             return path
+        digest = payload_digest(payload)
+        if self.faults is not None:
+            # Re-puts of a quarantined key advance the rule's attempt
+            # count, so a times-bounded corruption heals on rewrite.
+            attempt = self._put_seq[key]
+            self._put_seq[key] += 1
+            if self.faults.fires("cas.corrupt", key, attempt):
+                digest = np.bitwise_xor(digest, np.uint8(0xFF))
+                self.metrics.inc("faults.cas.corrupt")
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".npz")
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(fh, **payload)
+                np.savez_compressed(fh, **dict(payload),
+                                    **{DIGEST_KEY: digest})
             os.replace(tmp_name, path)
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
@@ -222,7 +305,8 @@ class ContentStore:
                 f"session hits {int(m.value('store.hits'))} "
                 f"misses {int(m.value('store.misses'))} "
                 f"puts {int(m.value('store.puts'))} "
-                f"evictions {int(m.value('store.evictions'))}")
+                f"evictions {int(m.value('store.evictions'))} "
+                f"corrupt {int(m.value('store.corrupt'))}")
 
 
 def default_store() -> ContentStore:

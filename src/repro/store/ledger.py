@@ -26,11 +26,24 @@ class RunLedger:
     The file handle is opened lazily and every append is flushed, so a
     ledger object can be long-lived and still lose at most the event being
     written when the process dies.
+
+    Args:
+        path: the JSONL journal file.
+        run_id: stamped on every event when given.
+        faults: optional :class:`~repro.resilience.faults.FaultPlan`; a
+            firing ``ledger.torn`` rule truncates that event's line
+            mid-write — the record is lost exactly as a crash would lose
+            it, and replay must skip it.  ``torn_events`` counts the
+            injections.
     """
 
-    def __init__(self, path: str | Path, *, run_id: str | None = None) -> None:
+    def __init__(self, path: str | Path, *, run_id: str | None = None,
+                 faults=None) -> None:
         self.path = Path(path)
         self.run_id = run_id
+        self.faults = faults
+        self.torn_events = 0
+        self._event_seq: Counter = Counter()
         self._fh: IO[str] | None = None
 
     def append(self, event: str, **fields: Any) -> dict[str, Any]:
@@ -42,9 +55,25 @@ class RunLedger:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True)
+        if self.faults is not None:
+            attempt = self._event_seq[event]
+            self._event_seq[event] += 1
+            if self.faults.fires("ledger.torn", event, attempt):
+                # A torn write: half the line reaches disk, the record is
+                # gone.  The newline keeps subsequent appends parseable,
+                # mimicking a crash-then-restart journal.
+                self.torn_events += 1
+                self._fh.write(line[: max(1, len(line) // 2)] + "\n")
+                self._fh.flush()
+                return record
+        self._fh.write(line + "\n")
         self._fh.flush()
         return record
+
+    def work_shed(self, key: str, **fields: Any) -> dict[str, Any]:
+        """One planned instance was shed by deadline-aware degradation."""
+        return self.append("work_shed", key=key, **fields)
 
     # Typed conveniences: the event vocabulary the pipeline emits.
 

@@ -63,6 +63,8 @@ def run_instances_memoized(
     max_workers: int | None = None,
     parallel: bool = True,
     registry: MetricsRegistry | None = None,
+    retry=None,
+    faults=None,
 ) -> list["InstanceOutcome"]:
     """Execute instances through the result store.
 
@@ -78,6 +80,11 @@ def run_instances_memoized(
         registry: receives the batch's ``memo.*`` accounting plus every
             worker's merged telemetry; defaults to the process
             :func:`~repro.obs.registry.global_registry`.
+        retry: optional :class:`~repro.resilience.retry.RetryPolicy` for
+            transient worker failures among the misses.
+        faults: optional :class:`~repro.resilience.faults.FaultPlan`
+            threaded to the workers (chaos testing); the store's own
+            ``cas.corrupt`` site is configured on the store handle.
 
     Returns:
         One :class:`~repro.core.parallel.InstanceOutcome` per spec, in
@@ -94,7 +101,8 @@ def run_instances_memoized(
                            cached=store is not None)
     if store is None:
         outcomes = run_instances(specs, parallel=parallel,
-                                 max_workers=max_workers, registry=reg)
+                                 max_workers=max_workers, registry=reg,
+                                 retry=retry, faults=faults)
         reg.inc("memo.misses", len(specs))
         reg.observe("memo.batch_s", watch.elapsed())
         if ledger is not None:
@@ -126,7 +134,7 @@ def run_instances_memoized(
     exec_idx = sorted(exec_of.values())
     executed = run_instances([specs[i] for i in exec_idx],
                              parallel=parallel, max_workers=max_workers,
-                             registry=reg)
+                             registry=reg, retry=retry, faults=faults)
     base_of: dict[str, "InstanceOutcome"] = {}
     for i, outcome in zip(exec_idx, executed):
         store.put(keys[i], outcome_payload(outcome))

@@ -106,8 +106,44 @@ def test_flaky_link_gives_up():
     link = FlakyGlobusLink("a", "b", failure_probability=1.0,
                            max_retries=3,
                            rng=np.random.default_rng(7))
+    # Initial attempt + 3 retries = 4 chances before giving up.
+    with pytest.raises(RuntimeError, match="failed 4 times"):
+        link.transfer("data", "a", "b", GB)
+
+
+class _ScriptedRNG:
+    """An rng whose .random() draws follow a script (boundary testing)."""
+
+    def __init__(self, draws):
+        self.draws = list(draws)
+
+    def random(self):
+        return self.draws.pop(0)
+
+    def uniform(self, lo, hi):
+        return (lo + hi) / 2.0
+
+
+def test_flaky_link_succeeds_on_final_retry():
+    """max_retries=2 permits exactly 3 attempts: fail, fail, succeed."""
+    link = FlakyGlobusLink("a", "b", failure_probability=0.5,
+                           max_retries=2,
+                           rng=_ScriptedRNG([0.1, 0.1, 0.9]))
+    rec = link.transfer("data", "a", "b", GB)
+    assert len(link.retry_log) == 2
+    assert len(link.records) == 1
+    assert rec.duration > link.duration_of(GB)  # wasted partial attempts
+
+
+def test_flaky_link_exhausts_exactly_after_initial_plus_retries():
+    """One failure past the budget (3 = 1 initial + 2 retries) gives up."""
+    link = FlakyGlobusLink("a", "b", failure_probability=0.5,
+                           max_retries=2,
+                           rng=_ScriptedRNG([0.1, 0.1, 0.1, 0.9]))
     with pytest.raises(RuntimeError, match="failed 3 times"):
         link.transfer("data", "a", "b", GB)
+    assert len(link.retry_log) == 3  # every permitted attempt was logged
+    assert not link.records
 
 
 def test_queueing_db_no_wait_under_cap():
@@ -135,3 +171,18 @@ def test_queueing_db_slots_free_over_time():
 def test_queueing_db_validation():
     with pytest.raises(ValueError):
         QueueingDatabase(0)
+
+
+def test_queueing_db_clamps_non_monotonic_now():
+    """A clock that jumps backwards is clamped to the latest time seen."""
+    db = QueueingDatabase(max_connections=1)
+    db.acquire(10.0, 5.0)
+    start = db.acquire(3.0, 5.0)  # regressed clock: treated as now=10
+    assert start == 15.0  # queued behind the slot releasing at 15
+    assert db.waits == [0.0, 5.0]  # never a negative wait
+
+
+def test_queueing_db_rejects_negative_hold():
+    db = QueueingDatabase(max_connections=1)
+    with pytest.raises(ValueError):
+        db.acquire(0.0, -1.0)

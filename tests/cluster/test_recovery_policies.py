@@ -96,9 +96,10 @@ def test_checksum_restart_extends_but_completes():
 def test_checksum_restart_gives_up_after_max_retries():
     link = FlakyGlobusLink("rivanna", "bridges", failure_probability=1.0,
                            max_retries=3, rng=np.random.default_rng(0))
-    with pytest.raises(RuntimeError, match="failed 3 times"):
+    with pytest.raises(RuntimeError, match="failed 4 times"):
         link.transfer("doomed", "a", "b", int(1 * GB))
-    assert len(link.retry_log) == 3
+    # Initial attempt plus max_retries retries were all interrupted.
+    assert len(link.retry_log) == 4
 
 
 def test_checksum_restart_is_deterministic():

@@ -1,0 +1,68 @@
+"""Fault-injected torn trace lines, mirroring the torn-ledger tests.
+
+``tests/obs/test_trace_replay.py`` tears the *final* line by hand (a crash
+mid-append); these tests use the ``ledger.torn`` fault site to tear lines
+*mid-stream* deterministically, pinning that the trace reader tolerates a
+record lost anywhere in the file — a span whose end event was torn reads
+as unfinished, everything around it survives.
+"""
+
+import pytest
+
+from repro.obs import Tracer, read_trace, summarize
+from repro.resilience import FaultPlan
+
+pytestmark = pytest.mark.fast
+
+
+def _trace_two_tasks(path, faults=None):
+    with Tracer(path, run_id="torn", faults=faults) as tr:
+        with tr.span("night"):
+            with tr.span("task:a"):
+                pass
+            with tr.span("task:b"):
+                pass
+
+
+def test_torn_mid_stream_end_event_reads_as_unfinished(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    # Tear the first span_end written (task:a's), nothing else.
+    plan = FaultPlan.parse(["ledger.torn:times=1,match=span_end"], seed=0)
+    _trace_two_tasks(path, faults=plan)
+
+    clean = tmp_path / "clean.jsonl"
+    _trace_two_tasks(clean)
+    assert len(read_trace(path)) == len(read_trace(clean)) - 1
+
+    s = summarize(path)
+    names = {sp.name for sp in s.spans}
+    assert "task:b" in names and "night" in names  # survivors intact
+    assert [u["name"] for u in s.unfinished] == ["task:a"]
+    assert "partial trace" in s.render()
+
+
+def test_torn_start_events_still_summarize(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    # Tear the first two span_starts (night's and task:a's).
+    plan = FaultPlan.parse(["ledger.torn:times=2,match=span_start"], seed=0)
+    _trace_two_tasks(path, faults=plan)
+    clean = tmp_path / "clean.jsonl"
+    _trace_two_tasks(clean)
+    assert len(read_trace(path)) == len(read_trace(clean)) - 2
+    s = summarize(path)
+    # Completed spans are reconstructed from their end events, so even
+    # with torn starts every finished span still reports its timing.
+    assert {sp.name for sp in s.spans} == {"night", "task:a", "task:b"}
+    assert s.unfinished == []
+
+
+def test_untorn_trace_is_bitwise_unchanged_by_inactive_plan(tmp_path):
+    """A plan with no ledger.torn rule must not perturb the stream."""
+    faulted = tmp_path / "faulted.jsonl"
+    clean = tmp_path / "clean.jsonl"
+    plan = FaultPlan.parse(["worker.exception:times=1"], seed=7)
+    _trace_two_tasks(faulted, faults=plan)
+    _trace_two_tasks(clean)
+    assert len(read_trace(faulted)) == len(read_trace(clean))
+    assert ({sp.name for sp in summarize(faulted).spans}
+            == {sp.name for sp in summarize(clean).spans})

@@ -1,0 +1,67 @@
+"""RetryPolicy backoff math and transient-vs-permanent triage."""
+
+import pytest
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.resilience import (
+    NO_RETRY_POLICY,
+    PERMANENT,
+    TRANSIENT,
+    InjectedFault,
+    PermanentError,
+    RetryPolicy,
+    TransientError,
+    classify,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def test_transient_types_are_retried():
+    for exc in (TransientError("x"), InjectedFault("worker.crash"),
+                TimeoutError(), ConnectionError(), InterruptedError(),
+                BrokenProcessPool("dead"), BrokenPipeError()):
+        assert classify(exc) == TRANSIENT
+
+
+def test_logic_errors_are_poison():
+    for exc in (ValueError("bad param"), KeyError("region"),
+                ZeroDivisionError(), PermanentError("poison")):
+        assert classify(exc) == PERMANENT
+
+
+def test_backoff_grows_exponentially_to_cap():
+    p = RetryPolicy(base_delay_s=0.1, factor=2.0, max_delay_s=0.5,
+                    jitter=0.0)
+    delays = [p.backoff_s("k", i) for i in range(5)]
+    assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+
+def test_jitter_is_deterministic_and_bounded():
+    p = RetryPolicy(base_delay_s=0.1, factor=1.0, jitter=0.25, seed=5)
+    d1 = p.backoff_s("key-a", 0)
+    assert d1 == p.backoff_s("key-a", 0)  # same key, same delay
+    assert d1 != p.backoff_s("key-b", 0)  # keys decorrelate
+    for key in ("a", "b", "c", "d"):
+        assert 0.075 <= p.backoff_s(key, 0) <= 0.125
+
+
+def test_no_retry_policy_is_single_attempt():
+    assert NO_RETRY_POLICY.max_attempts == 1
+    assert NO_RETRY_POLICY.backoff_s("k", 0) == 0.0
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=2.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_pool_rebuilds=-1)

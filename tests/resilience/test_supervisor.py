@@ -1,0 +1,191 @@
+"""supervise_map: retries, quarantine, pool rebuild, timeouts.
+
+The pooled tests use tiny picklable work functions (not simulations) so
+the supervisor's failure machinery is exercised in isolation and fast;
+the instance-level integration lives in ``test_chaos_equivalence.py``.
+"""
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    RAISE,
+    RetryPolicy,
+    TransientError,
+    supervise_map,
+)
+from repro.store.ledger import RunLedger, replay_ledger
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+def _double(item, attempt, faults):
+    return item * 2
+
+
+def _flaky(item, attempt, faults):
+    if attempt == 0:
+        raise TransientError(f"first attempt of {item}")
+    return item * 2
+
+
+def _poison_odd(item, attempt, faults):
+    if item % 2:
+        raise ValueError(f"poison {item}")
+    return item * 2
+
+
+def _always_fails(item, attempt, faults):
+    raise TransientError(f"{item} never works")
+
+
+def _crash_item_two(item, attempt, faults):
+    if item == 2 and attempt == 0:
+        os._exit(17)
+    return item * 2
+
+
+def _always_crashes(item, attempt, faults):
+    os._exit(17)
+
+
+def _slow_item_one(item, attempt, faults):
+    if item == 1 and attempt == 0:
+        time.sleep(30.0)
+    return item * 2
+
+
+def _make_pool():
+    return ProcessPoolExecutor(max_workers=2)
+
+
+# -- serial path ---------------------------------------------------------------
+
+
+def test_all_success_preserves_order():
+    res = supervise_map(_double, [3, 1, 2], registry=MetricsRegistry())
+    assert res.results == [6, 2, 4]
+    assert res.ok and res.attempts == 3 and res.retries == 0
+
+
+def test_empty_batch():
+    res = supervise_map(_double, [], registry=MetricsRegistry())
+    assert res.results == [] and res.ok
+
+
+def test_transient_failures_are_retried():
+    reg = MetricsRegistry()
+    res = supervise_map(_flaky, [1, 2], retry=FAST_RETRY, registry=reg)
+    assert res.results == [2, 4]
+    assert res.retries == 2 and res.attempts == 4
+    assert reg.value("retry.retries") == 2
+    assert reg.value("retry.failures") == 2
+
+
+def test_permanent_failures_quarantine_immediately():
+    reg = MetricsRegistry()
+    res = supervise_map(_poison_odd, [0, 1, 2, 3], retry=FAST_RETRY,
+                        registry=reg)
+    assert res.results == [0, None, 4, None]
+    assert res.retries == 0  # poison is never retried
+    assert [q.key for q in res.quarantined] == ["1", "3"]
+    assert all(q.kind == "permanent" for q in res.quarantined)
+    assert res.completed() == [0, 4]
+    assert reg.value("retry.quarantined") == 2
+
+
+def test_exhausted_attempts_quarantine_as_transient():
+    res = supervise_map(_always_fails, [7], retry=FAST_RETRY,
+                        registry=MetricsRegistry())
+    assert res.results == [None]
+    (q,) = res.quarantined
+    assert q.kind == "transient" and q.attempts == 3
+    assert "never works" in q.error
+
+
+def test_on_failure_raise_propagates():
+    with pytest.raises(ValueError, match="poison 1"):
+        supervise_map(_poison_odd, [0, 1], retry=FAST_RETRY,
+                      on_failure=RAISE, registry=MetricsRegistry())
+
+
+def test_invalid_on_failure_rejected():
+    with pytest.raises(ValueError):
+        supervise_map(_double, [1], on_failure="explode",
+                      registry=MetricsRegistry())
+
+
+def test_on_result_fires_incrementally():
+    seen = []
+    supervise_map(_poison_odd, [0, 1, 2], retry=FAST_RETRY,
+                  on_result=lambda i, r: seen.append((i, r)),
+                  registry=MetricsRegistry())
+    assert seen == [(0, 0), (2, 4)]  # quarantined item never reported
+
+
+def test_quarantine_journaled_to_ledger(tmp_path):
+    ledger = RunLedger(tmp_path / "run.jsonl")
+    supervise_map(_poison_odd, [1], keys=["spec-one"], retry=FAST_RETRY,
+                  registry=MetricsRegistry(), ledger=ledger)
+    (event,) = replay_ledger(ledger.path).events
+    assert event["event"] == "instance_failed"
+    assert event["key"] == "spec-one"
+    assert event["quarantined"] is True
+    assert event["kind"] == "permanent" and event["attempts"] == 1
+
+
+def test_summary_reports_quarantine():
+    res = supervise_map(_poison_odd, [0, 1], retry=FAST_RETRY,
+                        registry=MetricsRegistry())
+    text = res.summary()
+    assert "1/2 completed" in text and "quarantined 1" in text
+
+
+# -- pooled path ---------------------------------------------------------------
+
+
+def test_pooled_success(tmp_path):
+    res = supervise_map(_double, [1, 2, 3], make_pool=_make_pool,
+                        registry=MetricsRegistry())
+    assert res.results == [2, 4, 6]
+    assert res.pool_rebuilds == 0
+
+
+def test_pooled_submit_order_does_not_change_result_order():
+    res = supervise_map(_double, [1, 2, 3, 4], make_pool=_make_pool,
+                        submit_order=[3, 1, 0, 2],
+                        registry=MetricsRegistry())
+    assert res.results == [2, 4, 6, 8]
+
+
+def test_broken_pool_rebuilds_and_salvages():
+    reg = MetricsRegistry()
+    res = supervise_map(_crash_item_two, [0, 1, 2, 3], make_pool=_make_pool,
+                        retry=FAST_RETRY, registry=reg)
+    assert res.results == [0, 2, 4, 6]  # crash survivor included
+    assert res.pool_rebuilds >= 1
+    assert reg.value("retry.pool_rebuilds") >= 1
+
+
+def test_crash_loop_gives_up_bounded():
+    retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0,
+                        max_pool_rebuilds=1)
+    res = supervise_map(_always_crashes, [0, 1], make_pool=_make_pool,
+                        retry=retry, registry=MetricsRegistry())
+    assert res.results == [None, None]
+    assert res.pool_rebuilds == 1
+    assert all(q.kind == "pool" for q in res.quarantined)
+
+
+def test_timeout_abandons_stuck_attempt():
+    retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0,
+                        timeout_s=1.0)
+    reg = MetricsRegistry()
+    res = supervise_map(_slow_item_one, [0, 1], make_pool=_make_pool,
+                        retry=retry, registry=reg)
+    assert res.results == [0, 2]  # retried attempt (attempt=1) is fast
+    assert reg.value("retry.failures") >= 1
