@@ -1,0 +1,118 @@
+"""Scenario service under sustained submit/poll load.
+
+Drives an in-process :class:`~repro.service.ScenarioService` with a
+Zipf-distributed scenario mix from several submitter threads — the shape
+of interactive planner demand, where a few "hot" what-ifs are asked over
+and over.  Reports requests/s, p50/p99 request latency, and the coalesce
+and memo hit rates that make the hot head cheap.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import InstanceSpec
+from repro.service import ScenarioService
+from repro.store.cas import ContentStore
+
+N_SCENARIOS = 12  #: distinct scenarios in the mix
+N_REQUESTS = 120  #: total submissions across all threads
+N_THREADS = 4
+ZIPF_A = 1.5
+N_DAYS = 10
+
+
+def scenario(i):
+    return InstanceSpec(
+        region_code="VT", params={"TAU": 0.20 + 0.01 * i},
+        n_days=N_DAYS, scale=1e-3, seed=1000 + i, label=f"svc-bench-{i}")
+
+
+def zipf_mix(rng):
+    """N_REQUESTS scenario indices, Zipf-weighted toward the head."""
+    ranks = np.arange(1, N_SCENARIOS + 1, dtype=np.float64)
+    weights = ranks ** -ZIPF_A
+    weights /= weights.sum()
+    return rng.choice(N_SCENARIOS, size=N_REQUESTS, p=weights)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = ScenarioService(store=ContentStore(tmp_path / "store"),
+                          capacity=N_REQUESTS, batch_size=8,
+                          parallel=False).start()
+    yield svc
+    svc.stop(drain=True, timeout_s=60.0)
+
+
+def drive(service, mix):
+    """Submit the whole mix from N_THREADS threads, wait for every reply."""
+    chunks = np.array_split(mix, N_THREADS)
+    ids = [[] for _ in range(N_THREADS)]
+
+    def submitter(slot):
+        for idx in chunks[slot]:
+            adm = service.submit(scenario(int(idx)))
+            if adm.admitted:
+                ids[slot].append(adm.request_id)
+
+    threads = [threading.Thread(target=submitter, args=(s,))
+               for s in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    records = [service.queue.wait(rid, timeout_s=120.0)
+               for slot in ids for rid in slot]
+    return records
+
+
+def test_service_throughput_zipf_mix(benchmark, service, save_artifact):
+    rng = np.random.default_rng(7)
+    mix = zipf_mix(rng)
+
+    watch = {}
+
+    def load():
+        import time
+
+        t0 = time.perf_counter()
+        records = drive(service, mix)
+        watch["wall_s"] = time.perf_counter() - t0
+        return records
+
+    records = benchmark.pedantic(load, rounds=1, iterations=1)
+    assert len(records) == N_REQUESTS
+    assert all(rec.state == "done" for rec in records)
+
+    latencies = np.array([rec.total_s for rec in records])
+    snap = service.metrics_snapshot()
+    admitted = snap["service.admitted"]
+    coalesced = snap.get("service.coalesced", 0)
+    memo_hits = snap.get("memo.hits", 0)
+    memo_misses = snap.get("memo.misses", 0)
+    rps = N_REQUESTS / watch["wall_s"]
+
+    # Every distinct scenario executes at most once; everything else is
+    # served by coalescing (same in-flight batch) or the memo store.
+    assert snap["runner.instances"] == N_SCENARIOS
+    assert coalesced + memo_hits == N_REQUESTS - N_SCENARIOS
+
+    lines = [
+        "scenario service under Zipf submit/poll load",
+        f"  mix: {N_REQUESTS} requests over {N_SCENARIOS} scenarios "
+        f"(zipf a={ZIPF_A}), {N_THREADS} submitter threads",
+        f"  throughput: {rps:.1f} requests/s "
+        f"({watch['wall_s']:.2f}s wall)",
+        f"  latency: p50 {np.percentile(latencies, 50) * 1e3:.1f}ms, "
+        f"p99 {np.percentile(latencies, 99) * 1e3:.1f}ms",
+        f"  admission: {admitted:.0f} queued, {coalesced:.0f} coalesced "
+        f"({coalesced / N_REQUESTS:.0%} of demand)",
+        f"  memo: {memo_hits:.0f} hits / {memo_misses:.0f} misses "
+        f"({memo_hits / max(memo_hits + memo_misses, 1):.0%} hit rate)",
+        f"  executions: {snap['runner.instances']:.0f} "
+        f"(one per distinct scenario)",
+    ]
+    save_artifact("service_throughput", "\n".join(lines))
+    print("\n".join(lines))

@@ -10,6 +10,16 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro store stats                         # result-store maintenance
     repro trace summarize                     # where did the night go?
     repro chaos run VA --inject worker.crash:times=1   # fault drill
+    repro serve --port 8377                   # always-on scenario service
+    repro submit VT --tau 0.22 --days 60      # ask the running service
+
+``serve`` runs the scenario service plane: a bounded priority queue with
+request coalescing (identical scenarios share one computation) in front
+of the supervised, store-memoized fan-out, behind a JSON HTTP API.
+``submit`` is its client.  Commands that can lose work to faults —
+``simulate --inject``, ``night`` when transfers exhaust retries,
+``chaos run``, ``submit`` whose request fails — exit with code 4
+(quarantined) so schedulers can tell partial loss from hard failure.
 
 ``chaos run`` executes a batch twice — clean, then under an injected
 :class:`~repro.resilience.faults.FaultPlan` with supervised retries — and
@@ -41,6 +51,11 @@ from pathlib import Path
 #: Cache-key namespace for the ``simulate`` command's summary payload
 #: (confirmed + deaths series, attack rate, peak day).
 SIMULATE_NAMESPACE = "simulate-summary/v1"
+
+#: Exit code for "work was quarantined / lost to faults": distinct from
+#: 1 (domain failure, e.g. blown window or mismatch) and 2 (bad usage),
+#: so scripted callers can tell "ran but gave up on some work" apart.
+EXIT_QUARANTINED = 4
 
 
 def _add_cache_flags(p: argparse.ArgumentParser) -> None:
@@ -168,23 +183,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         root.attrs["cached"] = cached
         if payload is None:
             from .analytics import CONFIRMED, DEATHS, summarize, target_series
+            from .core.parallel import _inject_worker_faults
             from .core.runner import load_region_assets, run_instance
+            from .resilience import FaultPlan, RetryPolicy
+            from .resilience.supervisor import supervise_map
 
-            with tracer.span("load-assets"):
-                assets = load_region_assets(args.region, args.scale,
-                                            args.seed)
-            with tracer.span("run-engine"):
-                result, model = run_instance(assets, params,
-                                             n_days=args.days,
-                                             seed=args.seed)
-            reg.merge(result.metrics)
-            summary = summarize(result, model)
-            payload = {
-                "confirmed": target_series(summary, model, CONFIRMED),
-                "deaths": target_series(summary, model, DEATHS),
-                "attack_rate": np.asarray(result.attack_rate(model)),
-                "peak_day": np.asarray(result.peak_day(model)),
-            }
+            faults = None
+            if args.inject:
+                try:
+                    faults = FaultPlan.parse(args.inject,
+                                             seed=args.fault_seed)
+                except ValueError as exc:
+                    raise SystemExit(f"bad --inject spec: {exc}")
+
+            def _run(item, attempt, plan):
+                _inject_worker_faults(item, attempt, plan, allow_exit=False)
+                with tracer.span("load-assets", attempt=attempt):
+                    assets = load_region_assets(args.region, args.scale,
+                                                args.seed)
+                with tracer.span("run-engine", attempt=attempt):
+                    result, model = run_instance(assets, params,
+                                                 n_days=args.days,
+                                                 seed=args.seed)
+                reg.merge(result.metrics)
+                summary = summarize(result, model)
+                return {
+                    "confirmed": target_series(summary, model, CONFIRMED),
+                    "deaths": target_series(summary, model, DEATHS),
+                    "attack_rate": np.asarray(result.attack_rate(model)),
+                    "peak_day": np.asarray(result.peak_day(model)),
+                }
+
+            retry = RetryPolicy(max_attempts=args.retries,
+                                base_delay_s=0.05, seed=args.fault_seed)
+            res = supervise_map(_run, [spec], keys=[spec.label],
+                                retry=retry, faults=faults, registry=reg,
+                                ledger=ledger)
+            if res.quarantined:
+                for rec in res.quarantined:
+                    print(f"quarantined: {rec.describe()}", file=sys.stderr)
+                root.attrs["quarantined"] = len(res.quarantined)
+                return EXIT_QUARANTINED
+            payload = res.results[0]
             if store is not None:
                 store.put(key, payload)
             if ledger is not None:
@@ -279,14 +319,24 @@ def _cmd_night(args: argparse.Namespace) -> int:
             faults = FaultPlan.parse(args.inject, seed=args.fault_seed)
         except ValueError as exc:
             raise SystemExit(f"bad --inject spec: {exc}")
+    from .resilience import TransientError
+
     tracer = _resolve_tracer(args, run_id=f"night:{args.workflow}")
     with tracer:
-        report = orchestrate_night(
-            design, algorithm=args.algorithm, seed=args.seed,
-            ledger=_resolve_ledger(args), resume=resume, tracer=tracer,
-            degrade=args.degrade, min_replicates=args.min_replicates,
-            faults=faults,
-            retry=DEFAULT_RETRY_POLICY if faults is not None else None)
+        try:
+            report = orchestrate_night(
+                design, algorithm=args.algorithm, seed=args.seed,
+                ledger=_resolve_ledger(args), resume=resume, tracer=tracer,
+                degrade=args.degrade, min_replicates=args.min_replicates,
+                faults=faults,
+                retry=DEFAULT_RETRY_POLICY if faults is not None else None)
+        except TransientError as exc:
+            # Retries exhausted on a pipeline leg (e.g. every transfer
+            # attempt failed): the night lost work — report it as a
+            # quarantine-class failure, not a traceback.
+            print(f"night {args.workflow}: gave up after retries — {exc}",
+                  file=sys.stderr)
+            return EXIT_QUARANTINED
     print(report.summary())
     return 0 if report.fits_window else 1
 
@@ -393,7 +443,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"bit-identical to the clean run"
           + (f" ({len(res.quarantined)} quarantined)"
              if res.quarantined else ""))
-    return 0
+    return EXIT_QUARANTINED if res.quarantined else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -433,6 +483,106 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ScenarioService, make_server
+
+    store = _resolve_store(args)
+    ledger = _resolve_ledger(args)
+    tracer = _resolve_tracer(args, run_id="serve")
+    faults = None
+    if args.inject:
+        from .resilience import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.inject, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"bad --inject spec: {exc}")
+    retry = None
+    if args.max_attempts > 1:
+        from .resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.max_attempts,
+                            base_delay_s=0.05, seed=args.fault_seed)
+    service = ScenarioService(
+        store=store, ledger=ledger, tracer=tracer,
+        capacity=args.capacity, aging_every=args.aging_every,
+        batch_size=args.batch_size, max_workers=args.workers,
+        parallel=not args.serial, retry=retry, faults=faults)
+    server = make_server(service, host=args.host, port=args.port)
+    port = server.server_address[1]
+    if args.port_file:
+        # Written after bind: a supervisor (or the CI smoke) polls this
+        # file to learn the ephemeral port.
+        Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
+    service.start()
+    print(f"repro service listening on http://{args.host}:{port} "
+          f"(capacity={args.capacity}, batch={args.batch_size}, "
+          f"cache={'on' if store is not None else 'off'})", flush=True)
+    with tracer:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("interrupt: draining queue...", flush=True)
+        finally:
+            server.server_close()
+            service.stop(drain=True)
+    print("service stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import (
+        DEFAULT_PORT,
+        QueueFullError,
+        ServiceClient,
+        ServiceError,
+    )
+
+    url = (args.url or os.environ.get("REPRO_SERVICE_URL")
+           or f"http://127.0.0.1:{DEFAULT_PORT}")
+    params: dict[str, object] = {"TAU": args.tau, "SYMP": args.symp}
+    if args.sh_compliance is not None:
+        params["SH_COMPLIANCE"] = args.sh_compliance
+    if args.vhi_compliance is not None:
+        params["VHI_COMPLIANCE"] = args.vhi_compliance
+    scenario = {"region": args.region, "params": params, "days": args.days,
+                "scale": args.scale, "seed": args.seed,
+                "priority": args.priority}
+    client = ServiceClient(url)
+    try:
+        adm = client.submit(scenario)
+    except QueueFullError as exc:
+        print(f"rejected: queue full, retry after {exc.retry_after_s:.1f}s",
+              file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    print(f"{adm['id']}: {adm['status']} "
+          f"(key {adm['key'][:12]}, depth {adm['depth']})")
+    if args.no_wait:
+        return 0
+    try:
+        view = client.wait(adm["id"], timeout_s=args.timeout,
+                           poll_s=args.poll)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if view["state"] == "done":
+        result = view["result"]
+        confirmed = result["confirmed"]
+        print(f"{args.region}: attack {float(result['attack_rate']):.1%}, "
+              f"confirmed {int(confirmed[-1]):,} "
+              f"({view['total_s']:.2f}s"
+              + (", coalesced)" if view.get("coalesced") else ")"))
+        return 0
+    print(f"{view['state']}: {view.get('error', 'no detail')}",
+          file=sys.stderr)
+    return EXIT_QUARANTINED
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -464,6 +614,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="transmission kernel (result-identical; A/B timing)")
     p.add_argument("--csv", help="write the daily series to this file")
+    p.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
+                   help="inject worker faults (see 'repro chaos sites'); "
+                        "exit code 4 when the run is quarantined")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-plan + backoff-jitter seed")
+    p.add_argument("--retries", type=int, default=1,
+                   help="attempts before quarantining the run (default 1)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_simulate)
@@ -537,6 +694,57 @@ def build_parser() -> argparse.ArgumentParser:
                          "store at DIR (cas.corrupt plants bad blobs "
                          "the integrity check must catch)")
     sp.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", help="run the always-on scenario service (HTTP API)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377,
+                   help="TCP port (0 picks an ephemeral one; default 8377)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here after listening "
+                        "(for supervisors and smoke tests)")
+    p.add_argument("--capacity", type=int, default=64,
+                   help="max distinct queued scenarios before 429s")
+    p.add_argument("--aging-every", type=int, default=8,
+                   help="admissions per +1 priority boost of waiting work")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="scenarios per supervised fan-out batch")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size for each batch")
+    p.add_argument("--serial", action="store_true",
+                   help="in-process execution (no process pool)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="per-scenario attempts before a request fails")
+    p.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
+                   help="service chaos drill: inject worker faults")
+    p.add_argument("--fault-seed", type=int, default=0)
+    _add_cache_flags(p)
+    _add_trace_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a scenario to a running service")
+    p.add_argument("region")
+    p.add_argument("--days", type=int, default=120)
+    p.add_argument("--scale", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tau", type=float, default=0.18)
+    p.add_argument("--symp", type=float, default=0.65)
+    p.add_argument("--sh-compliance", type=float)
+    p.add_argument("--vhi-compliance", type=float)
+    p.add_argument("--priority", type=int, default=0,
+                   help="larger is more urgent (coalescing joins can "
+                        "re-prioritize queued work)")
+    p.add_argument("--url",
+                   help="service base URL (default REPRO_SERVICE_URL or "
+                        "http://127.0.0.1:8377)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the request id and return immediately")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for a terminal state")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="poll interval in seconds")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("trace", help="summarize or export a run trace")
     tsub = p.add_subparsers(dest="action", required=True)

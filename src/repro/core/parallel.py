@@ -48,7 +48,27 @@ from ..resilience.supervisor import (
 
 #: Cap on asset keys the pool initializer builds per worker: warming the
 #: dominant regions is a win, rebuilding every region in every worker is not.
+#: Overridable per deployment via ``REPRO_MAX_PRELOAD_ASSETS`` (see
+#: :func:`max_preload_assets`) — service workloads skew to a few hot
+#: regions and want a smaller warm set than a 50-state nightly sweep.
 MAX_PRELOAD_ASSETS: int = 4
+
+
+def max_preload_assets() -> int:
+    """The effective preload cap: ``REPRO_MAX_PRELOAD_ASSETS`` or the
+    module default.  ``0`` disables pre-warming entirely."""
+    raw = os.environ.get("REPRO_MAX_PRELOAD_ASSETS")
+    if raw is None or not raw.strip():
+        return MAX_PRELOAD_ASSETS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_PRELOAD_ASSETS must be an integer, got {raw!r}")
+    if value < 0:
+        raise ValueError(
+            f"REPRO_MAX_PRELOAD_ASSETS must be >= 0, got {value}")
+    return value
 
 
 @dataclass(frozen=True, slots=True)
@@ -236,7 +256,7 @@ def supervise_instances(
     else:
         order = sorted(range(len(specs)), key=lambda i: _asset_key(specs[i]))
         freq = Counter(_asset_key(s) for s in specs)
-        warm_keys = tuple(k for k, _ in freq.most_common(MAX_PRELOAD_ASSETS))
+        warm_keys = tuple(k for k, _ in freq.most_common(max_preload_assets()))
 
         def make_pool() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(

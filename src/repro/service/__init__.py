@@ -1,0 +1,65 @@
+"""Always-on scenario service plane: priority queue, coalescing, HTTP API.
+
+The paper's workflows are batch-shaped — a nightly window, a county-week
+sweep — but the *demand* on such a system is interactive: planners ask
+"what if tau were 0.95 in Vermont?" at arbitrary times, often the same
+question within minutes of each other.  This package turns the
+reproduction's execution stack into a long-running service:
+
+- :mod:`~repro.service.queue` — bounded admission with priority,
+  deterministic aging (no starvation), and request coalescing keyed on
+  canonical :func:`~repro.store.keys.instance_key` cache keys;
+- :mod:`~repro.service.broker` — a background loop draining batches
+  through :func:`~repro.store.memo.supervise_instances_memoized`, mapping
+  every request to a terminal state even when workers die;
+- :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  stdlib-only JSON HTTP API (``repro serve`` / ``repro submit``).
+"""
+
+from .broker import Broker
+from .client import QueueFullError, ServiceClient, ServiceError
+from .queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Admission,
+    Claim,
+    RequestRecord,
+    ScenarioQueue,
+)
+from .server import (
+    DEFAULT_PORT,
+    BadRequest,
+    ScenarioServer,
+    ScenarioService,
+    make_server,
+    record_view,
+    spec_from_request,
+)
+
+__all__ = [
+    "Admission",
+    "BadRequest",
+    "Broker",
+    "CANCELLED",
+    "Claim",
+    "DEFAULT_PORT",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "QueueFullError",
+    "RUNNING",
+    "RequestRecord",
+    "ScenarioQueue",
+    "ScenarioServer",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "make_server",
+    "record_view",
+    "spec_from_request",
+]

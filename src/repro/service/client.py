@@ -1,0 +1,114 @@
+"""A small stdlib client for the scenario service HTTP API.
+
+``repro submit`` is built on this; it is also the cross-process half of
+the service tests.  Only :mod:`urllib.request` — the service plane stays
+dependency-free end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..obs.registry import Stopwatch
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service.
+
+    Attributes:
+        status: HTTP status code (0 when the connection itself failed).
+        payload: decoded JSON error body when the service sent one.
+    """
+
+    def __init__(self, message: str, *, status: int = 0,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class QueueFullError(ServiceError):
+    """A 429 under backpressure; honor :attr:`retry_after_s`."""
+
+    def __init__(self, message: str, *, retry_after_s: float,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message, status=429, payload=payload)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Thin JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {}
+            message = payload.get("error", f"HTTP {exc.code}")
+            if exc.code == 429:
+                raise QueueFullError(
+                    message, payload=payload,
+                    retry_after_s=float(payload.get("retry_after_s", 1.0)),
+                ) from None
+            raise ServiceError(message, status=exc.code,
+                               payload=payload) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- API -------------------------------------------------------------------
+
+    def submit(self, scenario: dict[str, Any]) -> dict[str, Any]:
+        """POST a scenario; returns ``{id, key, status, depth}``.
+
+        Raises :class:`QueueFullError` on 429 and :class:`ServiceError`
+        on any other non-2xx (400 validation, 503 draining, ...).
+        """
+        return self._request("POST", "/scenarios", scenario)
+
+    def status(self, request_id: str) -> dict[str, Any]:
+        """GET one request's status view."""
+        return self._request("GET", f"/scenarios/{request_id}")
+
+    def wait(self, request_id: str, *, timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> dict[str, Any]:
+        """Poll until the request reaches a terminal state.
+
+        Raises :class:`ServiceError` when ``timeout_s`` elapses first.
+        """
+        watch = Stopwatch()
+        while True:
+            view = self.status(request_id)
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            if watch.elapsed() >= timeout_s:
+                raise ServiceError(
+                    f"request {request_id} still {view['state']!r} after "
+                    f"{timeout_s:.1f}s")
+            time.sleep(poll_s)
+
+    def health(self) -> dict[str, Any]:
+        """GET ``/healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        """GET ``/metrics`` (flat registry snapshot)."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,270 @@
+"""The HTTP front door: a stdlib JSON API over the scenario service.
+
+One :class:`ScenarioService` composes the admission queue and the broker;
+one :class:`ScenarioServer` (a ``ThreadingHTTPServer``) exposes it:
+
+- ``POST /scenarios`` — submit a scenario; ``202`` with the request id
+  (``status`` is ``"queued"`` or ``"coalesced"``), ``429`` +
+  ``Retry-After`` under backpressure, ``503`` while draining.
+- ``GET /scenarios/<id>`` — poll a request; terminal responses carry the
+  result payload (``done``) or the triage error (``failed`` /
+  ``cancelled``).
+- ``GET /healthz`` — liveness plus queue depth and drain state.
+- ``GET /metrics`` — flat JSON snapshot of the obs registry (``service.*``,
+  ``memo.*``, ``retry.*``, ``store.*``, worker telemetry).
+
+Handler threads only touch the lock-guarded queue; all execution stays on
+the broker thread.  Shutdown is graceful by default: stop admitting,
+finish everything queued, then stop the broker — a request accepted with
+``202`` is never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..core.parallel import InstanceSpec
+from ..obs.registry import MetricsRegistry
+from ..params import DEFAULT_SCALE
+from ..synthpop.regions import REGIONS
+from .broker import Broker
+from .queue import DONE, FAILED, Admission, RequestRecord, ScenarioQueue
+
+#: Default TCP port of the service (``repro serve`` / ``repro submit``).
+DEFAULT_PORT = 8377
+
+#: Bounds a submitted scenario must respect (tiny DoS hygiene, and the
+#: reproduction's scales are meaningless outside these ranges anyway).
+MAX_DAYS = 3650
+MAX_SCALE = 1.0
+
+
+class BadRequest(ValueError):
+    """A submission the API rejects with a 400."""
+
+
+def spec_from_request(body: dict[str, Any]) -> tuple[InstanceSpec, int]:
+    """Validate a ``POST /scenarios`` body into (spec, priority).
+
+    Expected fields: ``region`` (required), ``params`` (mapping),
+    ``days``, ``scale``, ``seed``, ``asset_seed``, ``priority``.
+    """
+    if not isinstance(body, dict):
+        raise BadRequest("body must be a JSON object")
+    region = body.get("region")
+    if not isinstance(region, str) or region.upper() not in REGIONS:
+        raise BadRequest(f"unknown region {region!r}")
+    region = region.upper()
+    params = body.get("params", {})
+    if not isinstance(params, dict):
+        raise BadRequest("params must be an object")
+    for name, value in params.items():
+        if not isinstance(name, str):
+            raise BadRequest("param names must be strings")
+        if not isinstance(value, (bool, int, float, str)):
+            raise BadRequest(f"unsupported param type for {name!r}")
+    try:
+        days = int(body.get("days", 120))
+        scale = float(body.get("scale", DEFAULT_SCALE))
+        seed = int(body.get("seed", 0))
+        asset_seed = int(body.get("asset_seed", seed))
+        priority = int(body.get("priority", 0))
+    except (TypeError, ValueError):
+        raise BadRequest("days/seed/asset_seed/priority must be integers, "
+                         "scale a float")
+    if not 1 <= days <= MAX_DAYS:
+        raise BadRequest(f"days must be in [1, {MAX_DAYS}]")
+    if not 0.0 < scale <= MAX_SCALE:
+        raise BadRequest(f"scale must be in (0, {MAX_SCALE}]")
+    spec = InstanceSpec(
+        region_code=region, params=dict(params), n_days=days, scale=scale,
+        seed=seed, label=f"svc-{region}", asset_seed=asset_seed)
+    return spec, priority
+
+
+def record_view(rec: RequestRecord) -> dict[str, Any]:
+    """JSON-safe status view of one tracked request."""
+    out: dict[str, Any] = {
+        "id": rec.request_id,
+        "state": rec.state,
+        "key": rec.key,
+        "priority": rec.priority,
+        "coalesced": rec.coalesced,
+    }
+    if rec.wait_s is not None:
+        out["wait_s"] = rec.wait_s
+    if rec.total_s is not None:
+        out["total_s"] = rec.total_s
+    if rec.state == DONE and rec.result is not None:
+        # .tolist() round-trips float64 exactly through JSON (repr-based),
+        # which is what keeps coalesced payloads bit-identical end to end.
+        out["result"] = {k: v.tolist() for k, v in rec.result.items()}
+    if rec.state == FAILED or rec.error is not None:
+        out["error"] = rec.error
+        out["kind"] = rec.kind
+    return out
+
+
+class ScenarioService:
+    """Queue + broker + telemetry behind one object the API serves."""
+
+    def __init__(
+        self,
+        *,
+        store=None,
+        ledger=None,
+        salt: str | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+        capacity: int = 64,
+        aging_every: int = 8,
+        batch_size: int = 4,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        retry=None,
+        faults=None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.store = store
+        self.queue = ScenarioQueue(capacity=capacity,
+                                   aging_every=aging_every,
+                                   metrics=self.registry)
+        self.broker = Broker(
+            self.queue, store=store, ledger=ledger, salt=salt,
+            registry=self.registry, tracer=tracer, batch_size=batch_size,
+            max_workers=max_workers, parallel=parallel, retry=retry,
+            faults=faults)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ScenarioService":
+        """Start the broker loop."""
+        self.broker.start()
+        return self
+
+    def stop(self, *, drain: bool = True,
+             timeout_s: float | None = None) -> None:
+        """Graceful drain by default: admit nothing, finish everything."""
+        self.queue.close()
+        self.broker.stop(drain=drain, timeout_s=timeout_s)
+
+    # -- operations ------------------------------------------------------------
+
+    def submit(self, spec: InstanceSpec, *, priority: int = 0) -> Admission:
+        """Admit one scenario into the queue."""
+        return self.queue.submit(spec, priority=priority)
+
+    def status(self, request_id: str) -> dict[str, Any] | None:
+        """JSON-safe view of one request, or None when unknown."""
+        rec = self.queue.status(request_id)
+        return None if rec is None else record_view(rec)
+
+    def wait(self, request_id: str,
+             timeout_s: float | None = None) -> dict[str, Any] | None:
+        """Block until terminal (broker must be running), then view."""
+        rec = self.queue.wait(request_id, timeout_s)
+        return None if rec is None else record_view(rec)
+
+    def health(self) -> dict[str, Any]:
+        """Liveness payload for ``/healthz``."""
+        return {
+            "status": "draining" if self.queue.closed else "ok",
+            "queue_depth": self.queue.depth(),
+            "broker_running": self.broker.running,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Flat registry snapshot for ``/metrics``."""
+        return self.broker.metrics_view().snapshot()
+
+
+class ScenarioServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ScenarioService) -> None:
+        super().__init__(address, ScenarioHandler)
+        self.service = service
+
+
+class ScenarioHandler(BaseHTTPRequestHandler):
+    """Routes ``/scenarios``, ``/healthz`` and ``/metrics``."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ScenarioService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Silenced: the obs registry is the service's telemetry."""
+
+    def _send(self, code: int, payload: dict[str, Any],
+              headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        """Route /healthz, /metrics and /scenarios/<id>."""
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, self.service.health())
+        elif path == "/metrics":
+            self._send(200, self.service.metrics_snapshot())
+        elif path.startswith("/scenarios/"):
+            request_id = path[len("/scenarios/"):]
+            view = self.service.status(request_id)
+            if view is None:
+                self._send(404, {"error": f"unknown request {request_id!r}"})
+            else:
+                self._send(200, view)
+        else:
+            self._send(404, {"error": f"no route for {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        """Route POST /scenarios: validate, admit, answer."""
+        if self.path.rstrip("/") != "/scenarios":
+            self._send(404, {"error": f"no route for {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            spec, priority = spec_from_request(body)
+        except (json.JSONDecodeError, BadRequest) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        adm = self.service.submit(spec, priority=priority)
+        if not adm.admitted:
+            if adm.reason == "draining":
+                self._send(503, {"error": "service is draining",
+                                 "status": "rejected"},
+                           headers={"Retry-After": "60"})
+            else:
+                hint = adm.retry_after_s or 1.0
+                self._send(429, {"error": "queue full",
+                                 "status": "rejected",
+                                 "retry_after_s": hint,
+                                 "depth": adm.depth},
+                           headers={"Retry-After": f"{hint:.3f}"})
+            return
+        self._send(202, {"id": adm.request_id, "key": adm.key,
+                         "status": adm.status, "depth": adm.depth})
+
+
+def make_server(service: ScenarioService, host: str = "127.0.0.1",
+                port: int = 0) -> ScenarioServer:
+    """Bind a :class:`ScenarioServer` (``port=0`` picks an ephemeral one)."""
+    return ScenarioServer((host, port), service)

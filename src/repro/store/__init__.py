@@ -25,6 +25,7 @@ from .memo import (
     outcome_from_payload,
     outcome_payload,
     run_instances_memoized,
+    supervise_instances_memoized,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "outcome_payload",
     "replay_ledger",
     "run_instances_memoized",
+    "supervise_instances_memoized",
 ]

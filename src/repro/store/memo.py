@@ -9,6 +9,13 @@ list is restored to input order.  Cached and executed results are
 bit-identical because the payload stores the exact float64 series the
 worker produced.
 
+:func:`supervise_instances_memoized` is the same partition-execute-publish
+cycle with quarantine semantics: misses run under the resilient fan-out,
+specs that exhaust their retry budget come back as ``None`` positions plus
+:class:`~repro.resilience.retry.QuarantineRecord` entries instead of
+aborting the batch.  The scenario service broker
+(:mod:`repro.service.broker`) is built on it.
+
 Imports of :mod:`repro.core.parallel` are deferred into the functions —
 ``core.calibration_wf`` imports this module at its top level, so a
 module-level import back into ``repro.core`` would be circular (mirroring
@@ -23,6 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..obs.registry import MetricsRegistry, Stopwatch, global_registry
+from ..resilience.supervisor import QUARANTINE, RAISE, FanoutResult
 from .cas import ContentStore
 from .keys import instance_key
 from .ledger import RunLedger
@@ -54,6 +62,147 @@ def outcome_from_payload(
     )
 
 
+def supervise_instances_memoized(
+    specs: list["InstanceSpec"],
+    *,
+    store: ContentStore | None = None,
+    ledger: RunLedger | None = None,
+    salt: str | None = None,
+    max_workers: int | None = None,
+    parallel: bool = True,
+    registry: MetricsRegistry | None = None,
+    retry=None,
+    faults=None,
+    on_failure: str = QUARANTINE,
+) -> FanoutResult:
+    """Execute instances through the result store, under supervision.
+
+    The cache-aware twin of
+    :func:`~repro.core.parallel.supervise_instances`: specs are
+    partitioned into store hits and misses, only the misses cross the
+    process pool (retried and quarantined per the policy), completed
+    results are written back as content-addressed blobs, and the batch
+    always returns — ``results[i] is None`` marks a quarantined position
+    and ``quarantined`` carries one record per affected input position.
+    This is the execution primitive of the scenario service broker, which
+    must map every request to a terminal state even when workers die.
+
+    Args:
+        specs: the instances (order of results matches the input).
+        store: the content store; None falls back to plain execution.
+        ledger: optional run journal; records a ``cache_hit`` per served
+            instance, an ``instance_completed`` per executed one,
+            ``instance_failed`` per quarantine, and run-level
+            start/complete events with the batch counters.
+        salt: cache-key salt override (defaults to the code-version salt).
+        max_workers / parallel: forwarded to the supervised fan-out for
+            the misses.
+        registry: receives the batch's ``memo.*`` accounting, the
+            supervisor's ``retry.*`` / ``faults.*`` counters, plus every
+            worker's merged telemetry; defaults to the process
+            :func:`~repro.obs.registry.global_registry`.
+        retry: optional :class:`~repro.resilience.retry.RetryPolicy` for
+            transient worker failures among the misses.
+        faults: optional :class:`~repro.resilience.faults.FaultPlan`
+            threaded to the workers (chaos testing); the store's own
+            ``cas.corrupt`` site is configured on the store handle.
+        on_failure: ``"quarantine"`` (default) or ``"raise"``.
+
+    Returns:
+        A :class:`~repro.resilience.supervisor.FanoutResult` whose
+        ``results`` are :class:`~repro.core.parallel.InstanceOutcome` (or
+        None), in input order — bit-identical whether served or executed.
+    """
+    from ..core.parallel import supervise_instances
+
+    reg = registry if registry is not None else global_registry()
+    if not specs:
+        return FanoutResult(results=[])
+    watch = Stopwatch()
+    if ledger is not None:
+        ledger.run_started(n_instances=len(specs),
+                           cached=store is not None)
+    if store is None:
+        res = supervise_instances(
+            specs, parallel=parallel, max_workers=max_workers,
+            registry=reg, retry=retry, faults=faults, ledger=ledger,
+            on_failure=on_failure)
+        reg.inc("memo.misses", len(specs))
+        reg.observe("memo.batch_s", watch.elapsed())
+        if ledger is not None:
+            for o in res.completed():
+                ledger.instance_completed(
+                    instance_key(o.spec, salt=salt), label=o.spec.label)
+            ledger.run_completed(hits=0, misses=len(specs),
+                                 wall_s=watch.elapsed())
+        return res
+
+    keys = [instance_key(s, salt=salt) for s in specs]
+    # One store lookup per unique key: duplicate specs in a batch are
+    # executed once and fanned back out to every position.
+    payload_of = {k: store.get(k) for k in dict.fromkeys(keys)}
+
+    out: list["InstanceOutcome" | None] = [None] * len(specs)
+    exec_of: dict[str, int] = {}
+    n_hits = 0
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        payload = payload_of[key]
+        if payload is not None:
+            out[i] = outcome_from_payload(spec, payload)
+            n_hits += 1
+            if ledger is not None:
+                ledger.cache_hit(key, label=spec.label)
+        else:
+            exec_of.setdefault(key, i)
+
+    exec_idx = sorted(exec_of.values())
+    res = supervise_instances(
+        [specs[i] for i in exec_idx], parallel=parallel,
+        max_workers=max_workers, registry=reg, retry=retry, faults=faults,
+        ledger=ledger, on_failure=on_failure)
+    base_of: dict[str, "InstanceOutcome"] = {}
+    # Quarantine records arrive sorted by position, so pairing them with
+    # the None slots of the execution results is a simple in-order walk.
+    failed_of: dict[str, object] = {}
+    qiter = iter(res.quarantined)
+    for i, outcome in zip(exec_idx, res.results):
+        if outcome is None:
+            failed_of[keys[i]] = next(qiter)
+            continue
+        store.put(keys[i], outcome_payload(outcome))
+        base_of[keys[i]] = outcome
+        if ledger is not None:
+            ledger.instance_completed(keys[i], label=outcome.spec.label)
+
+    quarantined = []
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        if out[i] is not None:
+            continue
+        base = base_of.get(key)
+        if base is not None:
+            out[i] = base if base.spec is spec else replace(base, spec=spec)
+        else:
+            rec = failed_of[key]
+            quarantined.append(rec if rec.item is spec
+                               else replace(rec, item=spec))
+    # memo.* counts are per-batch deltas; the store's cumulative session
+    # counters stay on store.metrics (merging them here would double-count
+    # across batches sharing a sink).
+    reg.inc("memo.hits", n_hits)
+    reg.inc("memo.misses", len(exec_idx))
+    reg.observe("memo.batch_s", watch.elapsed())
+    if ledger is not None:
+        extra = {"store_" + k: v
+                 for k, v in store.stats.snapshot().items()}
+        if quarantined:
+            extra["quarantined"] = len(quarantined)
+        ledger.run_completed(hits=n_hits, misses=len(exec_idx),
+                             wall_s=watch.elapsed(), **extra)
+    return FanoutResult(results=out, quarantined=quarantined,
+                        attempts=res.attempts, retries=res.retries,
+                        pool_rebuilds=res.pool_rebuilds)
+
+
 def run_instances_memoized(
     specs: list["InstanceSpec"],
     *,
@@ -67,6 +216,13 @@ def run_instances_memoized(
     faults=None,
 ) -> list["InstanceOutcome"]:
     """Execute instances through the result store.
+
+    The historical all-or-nothing contract on top of
+    :func:`supervise_instances_memoized`: every spec's outcome in input
+    order, or the first unrecoverable exception (``on_failure="raise"``).
+    Callers that need partial results plus a quarantine report — the
+    scenario service broker, chaos runs — use the supervised variant
+    directly.
 
     Args:
         specs: the instances (order of results matches the input).
@@ -90,70 +246,8 @@ def run_instances_memoized(
         One :class:`~repro.core.parallel.InstanceOutcome` per spec, in
         input order — bit-identical whether served or executed.
     """
-    from ..core.parallel import run_instances
-
-    reg = registry if registry is not None else global_registry()
-    if not specs:
-        return []
-    watch = Stopwatch()
-    if ledger is not None:
-        ledger.run_started(n_instances=len(specs),
-                           cached=store is not None)
-    if store is None:
-        outcomes = run_instances(specs, parallel=parallel,
-                                 max_workers=max_workers, registry=reg,
-                                 retry=retry, faults=faults)
-        reg.inc("memo.misses", len(specs))
-        reg.observe("memo.batch_s", watch.elapsed())
-        if ledger is not None:
-            for o in outcomes:
-                ledger.instance_completed(
-                    instance_key(o.spec, salt=salt), label=o.spec.label)
-            ledger.run_completed(hits=0, misses=len(specs),
-                                 wall_s=watch.elapsed())
-        return outcomes
-
-    keys = [instance_key(s, salt=salt) for s in specs]
-    # One store lookup per unique key: duplicate specs in a batch are
-    # executed once and fanned back out to every position.
-    payload_of = {k: store.get(k) for k in dict.fromkeys(keys)}
-
-    out: list["InstanceOutcome" | None] = [None] * len(specs)
-    exec_of: dict[str, int] = {}
-    n_hits = 0
-    for i, (spec, key) in enumerate(zip(specs, keys)):
-        payload = payload_of[key]
-        if payload is not None:
-            out[i] = outcome_from_payload(spec, payload)
-            n_hits += 1
-            if ledger is not None:
-                ledger.cache_hit(key, label=spec.label)
-        else:
-            exec_of.setdefault(key, i)
-
-    exec_idx = sorted(exec_of.values())
-    executed = run_instances([specs[i] for i in exec_idx],
-                             parallel=parallel, max_workers=max_workers,
-                             registry=reg, retry=retry, faults=faults)
-    base_of: dict[str, "InstanceOutcome"] = {}
-    for i, outcome in zip(exec_idx, executed):
-        store.put(keys[i], outcome_payload(outcome))
-        base_of[keys[i]] = outcome
-        if ledger is not None:
-            ledger.instance_completed(keys[i], label=outcome.spec.label)
-    for i, (spec, key) in enumerate(zip(specs, keys)):
-        if out[i] is None:
-            base = base_of[key]
-            out[i] = base if base.spec is spec else replace(base, spec=spec)
-    # memo.* counts are per-batch deltas; the store's cumulative session
-    # counters stay on store.metrics (merging them here would double-count
-    # across batches sharing a sink).
-    reg.inc("memo.hits", n_hits)
-    reg.inc("memo.misses", len(exec_idx))
-    reg.observe("memo.batch_s", watch.elapsed())
-    if ledger is not None:
-        ledger.run_completed(hits=n_hits, misses=len(exec_idx),
-                             wall_s=watch.elapsed(),
-                             **{"store_" + k: v
-                                for k, v in store.stats.snapshot().items()})
-    return out  # type: ignore[return-value]
+    res = supervise_instances_memoized(
+        specs, store=store, ledger=ledger, salt=salt,
+        max_workers=max_workers, parallel=parallel, registry=registry,
+        retry=retry, faults=faults, on_failure=RAISE)
+    return res.results  # type: ignore[return-value] — RAISE means no Nones

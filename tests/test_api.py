@@ -13,7 +13,11 @@ SUBPACKAGES = [
     "repro.economics",
     "repro.epihiper",
     "repro.metapop",
+    "repro.obs",
+    "repro.resilience",
     "repro.scheduling",
+    "repro.service",
+    "repro.store",
     "repro.surveillance",
     "repro.synthpop",
 ]

@@ -152,3 +152,40 @@ def test_store_stats_gc_clear(tmp_path, capsys):
     assert "evicted 1 blobs" in capsys.readouterr().out
     assert main(["store", "clear", "--dir", store]) == 0
     assert "removed 0 blobs" in capsys.readouterr().out
+
+
+def test_simulate_quarantine_exit_code(capsys):
+    # A persistent worker fault exhausts the single attempt: exit 4.
+    assert main(["simulate", "VT", "--days", "5", "--no-trace",
+                 "--no-cache", "--inject",
+                 "worker.exception:times=3"]) == 4
+    assert "quarantined" in capsys.readouterr().err
+
+
+def test_simulate_retry_recovers(capsys):
+    # A one-shot fault with a retry budget recovers to a clean exit.
+    assert main(["simulate", "VT", "--days", "5", "--no-trace",
+                 "--no-cache", "--inject", "worker.exception:times=1",
+                 "--retries", "3"]) == 0
+    assert "attack" in capsys.readouterr().out
+
+
+def test_night_transfer_exhaustion_exit_code(capsys):
+    assert main(["night", "prediction", "--no-trace", "--no-cache",
+                 "--inject", "transfer.fail:times=99"]) == 4
+    assert "gave up after retries" in capsys.readouterr().err
+
+
+def test_chaos_quarantine_exit_code(capsys):
+    # Every attempt faults: the drill reports quarantines via exit 4.
+    assert main(["chaos", "run", "VT", "--instances", "2", "--days", "5",
+                 "--serial", "--max-attempts", "2",
+                 "--inject", "worker.exception:times=99"]) == 4
+    assert "quarantined" in capsys.readouterr().out
+
+
+def test_chaos_recovered_run_exits_clean(capsys):
+    assert main(["chaos", "run", "VT", "--instances", "2", "--days", "5",
+                 "--serial", "--max-attempts", "3",
+                 "--inject", "worker.exception:times=1"]) == 0
+    assert "equivalence: OK" in capsys.readouterr().out
