@@ -23,8 +23,15 @@ from repro.synthpop import build_region_network
 NETWORKS = (("VA", 1e-3), ("VA", 4e-3), ("VA", 1e-2))
 PREVALENCES = (0.001, 0.05, 0.40)
 BACKENDS = ("dense", "frontier", "auto")
-REPEATS = 7
+REPEATS = 21
 RNG_SEED = 9
+
+#: ``auto`` must track the better fixed kernel this closely on every
+#: network at every prevalence.  The per-tick resolution costs one popcount
+#: in the early-epidemic regime (the ``max_degree`` workload bound) and one
+#: O(|V|) dot product near or past the crossover, both far below a tick, so
+#: the tolerance mostly absorbs timer noise.
+AUTO_TOLERANCE = 1.15
 
 
 def _best_time(fn, repeats=REPEATS):
@@ -97,5 +104,12 @@ def test_transmission_kernel_backends(benchmark, save_artifact):
     low = [r for r in largest if r[2] <= 0.01]
     for _name, _edges, _prev, t in low:
         assert t["dense"] / t["frontier"] >= 3.0
-    for _name, _edges, _prev, t in largest:
-        assert t["auto"] <= 1.10 * min(t["dense"], t["frontier"])
+    # Regression guard for the per-tick auto resolution: auto must not
+    # lose to the better fixed backend in EITHER regime — low prevalence
+    # (frontier territory) or 40% (dense territory, where the old
+    # O(infectious) index build made auto pay >10% over dense).
+    for name, _edges, prev, t in rows:
+        best = min(t["dense"], t["frontier"])
+        assert t["auto"] <= AUTO_TOLERANCE * best, (
+            f"auto lost at {name} prev={prev:.1%}: "
+            f"{t['auto'] * 1e3:.3f}ms vs best {best * 1e3:.3f}ms")

@@ -153,19 +153,66 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_params(args: argparse.Namespace) -> dict:
+    params = {"TAU": args.tau, "SYMP": args.symp, "backend": args.backend}
+    if args.sh_compliance is not None:
+        params["SH_COMPLIANCE"] = args.sh_compliance
+    if args.vhi_compliance is not None:
+        params["VHI_COMPLIANCE"] = args.vhi_compliance
+    return params
+
+
+def _cmd_simulate_replicates(args: argparse.Namespace) -> int:
+    """``simulate --replicates N``: one batched ensemble, N RNG streams.
+
+    Replicates share region assets and horizon, so they form one batch
+    group and ride the K-lane vectorized kernel via the standard
+    memoized fan-out — each replicate still lands in the store under its
+    own instance key, bit-identical to a solo run with the same seed.
+    """
+    import numpy as np
+
+    from .core.parallel import InstanceSpec
+    from .obs import MetricsRegistry
+    from .store.memo import run_instances_memoized
+
+    store = _resolve_store(args)
+    ledger = _resolve_ledger(args)
+    params = _simulate_params(args)
+    specs = [
+        InstanceSpec(
+            region_code=args.region, params=params, n_days=args.days,
+            scale=args.scale, seed=args.seed + r,
+            label=f"simulate-{args.region}-r{r}", asset_seed=args.seed)
+        for r in range(args.replicates)
+    ]
+    reg = MetricsRegistry()
+    outcomes = run_instances_memoized(
+        specs, store=store, ledger=ledger, parallel=False, registry=reg)
+    rates = np.array([o.attack_rate for o in outcomes])
+    finals = [int(o.confirmed[-1]) for o in outcomes]
+    print(f"{args.region}: {len(outcomes)} replicates, "
+          f"attack {rates.mean():.1%} (min {rates.min():.1%}, "
+          f"max {rates.max():.1%}), "
+          f"confirmed {min(finals):,}..{max(finals):,}")
+    print(f"batch: size={int(reg.value('batch.size'))} "
+          f"groups={int(reg.value('batch.groups'))} "
+          f"hits={int(reg.value('memo.hits'))} "
+          f"misses={int(reg.value('memo.misses'))}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .core.parallel import InstanceSpec
     from .store.keys import instance_key
 
+    if args.replicates > 1:
+        return _cmd_simulate_replicates(args)
     store = _resolve_store(args)
     ledger = _resolve_ledger(args)
-    params = {"TAU": args.tau, "SYMP": args.symp, "backend": args.backend}
-    if args.sh_compliance is not None:
-        params["SH_COMPLIANCE"] = args.sh_compliance
-    if args.vhi_compliance is not None:
-        params["VHI_COMPLIANCE"] = args.vhi_compliance
+    params = _simulate_params(args)
     spec = InstanceSpec(
         region_code=args.region, params=params, n_days=args.days,
         scale=args.scale, seed=args.seed,
@@ -613,7 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("dense", "frontier", "auto"),
                    default="auto",
                    help="transmission kernel (result-identical; A/B timing)")
-    p.add_argument("--csv", help="write the daily series to this file")
+    p.add_argument("--replicates", type=int, default=1,
+                   help="run N replicates (seeds seed..seed+N-1) as one "
+                        "batched ensemble; each replicate is cached "
+                        "under its own key (default 1)")
+    p.add_argument("--csv", help="write the daily series to this file "
+                                 "(single-replicate runs only)")
     p.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
                    help="inject worker faults (see 'repro chaos sites'); "
                         "exit code 4 when the run is quarantined")

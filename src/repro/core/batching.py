@@ -1,0 +1,118 @@
+"""Replicate batching: partition instance specs into batchable groups.
+
+Calibration rounds, ensemble designs, and scenario-service requests are
+dominated by *replicate batches*: many :class:`~repro.core.parallel.
+InstanceSpec`s that share a region, scale, asset seed, and horizon and
+differ only in RNG seed and cell parameters.  Those are exactly the specs
+:class:`~repro.epihiper.batch.BatchedSimulation` can advance through one
+vectorized tick loop, K lanes at a time, with bit-identical per-replicate
+outputs.
+
+This module owns the partitioning policy and nothing else: given a spec
+list, return index groups whose members may share one batched kernel.
+The execution planes (:func:`~repro.core.parallel.supervise_instances`
+and everything stacked on it — memoized runs, calibration workflows, the
+scenario service broker) route whole groups to the batched executor and
+keep per-instance retry/quarantine semantics by *evicting* faulting specs
+from their group rather than failing the group.
+
+Batching is on by default and controlled by two environment variables:
+
+- ``REPRO_BATCH_REPLICATES`` — set to ``0`` / ``false`` / ``off`` / ``no``
+  to disable grouping entirely (every spec runs solo, the historical
+  path).  Results are bit-identical either way; the knob exists for
+  debugging and A/B timing.
+- ``REPRO_MAX_BATCH_LANES`` — cap on lanes per batched kernel (default
+  64).  Wider batches amortise per-tick dispatch further but grow the
+  stacked ``(K, N)`` / ``(K, E)`` working set; past the cache-friendly
+  width the speedup flattens.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .parallel import InstanceSpec
+
+#: Default cap on replicate lanes sharing one batched kernel.
+MAX_BATCH_LANES: int = 64
+
+#: Values of ``REPRO_BATCH_REPLICATES`` that disable batching.
+_DISABLE_TOKENS: frozenset[str] = frozenset({"0", "false", "off", "no"})
+
+
+def batching_enabled() -> bool:
+    """Whether replicate batching is active for this process.
+
+    On unless ``REPRO_BATCH_REPLICATES`` is set to a disable token
+    (``0`` / ``false`` / ``off`` / ``no``, case-insensitive).
+    """
+    raw = os.environ.get("REPRO_BATCH_REPLICATES")
+    if raw is None or not raw.strip():
+        return True
+    return raw.strip().lower() not in _DISABLE_TOKENS
+
+
+def max_batch_lanes() -> int:
+    """The effective lane cap: ``REPRO_MAX_BATCH_LANES`` or the default."""
+    raw = os.environ.get("REPRO_MAX_BATCH_LANES")
+    if raw is None or not raw.strip():
+        return MAX_BATCH_LANES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_BATCH_LANES must be an integer, got {raw!r}")
+    if value < 1:
+        raise ValueError(
+            f"REPRO_MAX_BATCH_LANES must be >= 1, got {value}")
+    return value
+
+
+def group_key(spec: "InstanceSpec") -> tuple[str, float, int, int]:
+    """The sharing key two specs must agree on to ride one batch.
+
+    ``(region_code, scale, asset_seed, n_days)`` — the fields that pin the
+    shared population/network/surveillance assets and the tick horizon.
+    Cell parameters and seeds deliberately do not participate: the batched
+    engine takes heterogeneous models and RNG streams as lanes (it falls
+    back to per-instance execution itself, via
+    :class:`~repro.epihiper.batch.BatchIncompatible`, in the rare case a
+    parameter produces a structurally incompatible model).
+    """
+    return (spec.region_code, float(spec.scale), int(spec.asset_seed),
+            int(spec.n_days))
+
+
+def batch_groups(
+    specs: Sequence[Any],
+    max_lanes: int | None = None,
+) -> list[list[int]]:
+    """Partition spec indices into batchable groups.
+
+    Groups are keyed by :func:`group_key` and ordered by each key's first
+    occurrence in ``specs``; within a group, indices keep input order
+    (each lane's seed/params pairing is position-stable, which is what
+    lets callers map batched results back to input positions).  Groups
+    larger than the lane cap are split into consecutive chunks so no
+    single kernel exceeds ``max_lanes`` lanes.
+
+    Args:
+        specs: objects with the :func:`group_key` fields.
+        max_lanes: lane cap override (default: :func:`max_batch_lanes`).
+
+    Returns:
+        Index groups covering ``0..len(specs)-1`` exactly once.  A group
+        of size 1 means the spec has no batch partner and should run solo.
+    """
+    cap = max_lanes if max_lanes is not None else max_batch_lanes()
+    by_key: dict[tuple, list[int]] = {}
+    for i, spec in enumerate(specs):
+        by_key.setdefault(group_key(spec), []).append(i)
+    groups: list[list[int]] = []
+    for members in by_key.values():
+        for lo in range(0, len(members), cap):
+            groups.append(members[lo:lo + cap])
+    return groups

@@ -38,13 +38,20 @@ import numpy as np
 
 from ..params import DEFAULT_SCALE, DEFAULT_SEED
 from ..resilience.faults import CRASH_EXIT_CODE, FaultPlan, InjectedFault
-from ..resilience.retry import RetryPolicy
+from ..resilience.retry import (
+    NO_RETRY_POLICY,
+    PERMANENT,
+    QuarantineRecord,
+    RetryPolicy,
+    classify,
+)
 from ..resilience.supervisor import (
     QUARANTINE,
     RAISE,
     FanoutResult,
     supervise_map,
 )
+from .batching import batch_groups, batching_enabled
 
 #: Cap on asset keys the pool initializer builds per worker: warming the
 #: dominant regions is a win, rebuilding every region in every worker is not.
@@ -171,6 +178,69 @@ def _execute_one_pooled(spec: InstanceSpec, attempt: int,
     return _execute_one(spec, attempt, faults, allow_exit=True)
 
 
+def _execute_group(specs: list[InstanceSpec], attempt: int = 0,
+                   faults: FaultPlan | None = None, *,
+                   allow_exit: bool = False) -> tuple[list, dict]:
+    """Worker: run one batchable spec group through the stacked kernel.
+
+    Faults are injected per spec *before* the batch is built: a spec
+    whose injection raises is **evicted** — it becomes an ``("err",
+    exc)`` entry while the surviving lanes run batched, so one poisoned
+    replicate never costs the group its results.  The parent re-triages
+    evictions through the per-spec retry/quarantine machinery.
+
+    A :class:`~repro.epihiper.batch.BatchIncompatible` group (lane models
+    that cannot share a tick loop) falls back to per-spec serial
+    execution inside this worker — same results, no batch speedup.
+
+    Returns:
+        ``(entries, batch_dump)`` — per-spec entries in input order, each
+        ``("ok", (outcome, lane_dump))`` or ``("err", exception)``, plus
+        the batch-level telemetry dump (``runner.assets_s``, batch phase
+        timers, ``batch.size``).
+    """
+    from ..epihiper.batch import BatchIncompatible
+    from ..obs.registry import MetricsRegistry
+    from .runner import execute_spec, execute_specs_batched
+
+    entries: list = [None] * len(specs)
+    live: list[int] = []
+    for j, spec in enumerate(specs):
+        try:
+            _inject_worker_faults(spec, attempt, faults,
+                                  allow_exit=allow_exit)
+        except Exception as exc:  # noqa: BLE001 — parent re-triages
+            entries[j] = ("err", exc)
+            continue
+        live.append(j)
+    reg = MetricsRegistry()
+    if live:
+        if faults is not None:
+            for j in live:
+                if faults.delay("worker.slow", _spec_key(specs[j]),
+                                attempt) > 0:
+                    reg.inc("faults.worker.slow")
+        live_specs = [specs[j] for j in live]
+        try:
+            pairs = execute_specs_batched(live_specs, metrics=reg)
+        except BatchIncompatible:
+            reg.inc("batch.incompatible")
+            pairs = []
+            for spec in live_specs:
+                lane_reg = MetricsRegistry()
+                pairs.append((execute_spec(spec, metrics=lane_reg),
+                              lane_reg.dump()))
+        for j, pair in zip(live, pairs):
+            entries[j] = ("ok", pair)
+    return entries, reg.dump()
+
+
+def _execute_group_pooled(specs: list[InstanceSpec], attempt: int,
+                          faults: FaultPlan | None) -> tuple[list, dict]:
+    """Pool-worker entry: like :func:`_execute_group`, with hard crashes."""
+    return _execute_group(specs, attempt, faults, allow_exit=True)
+
+
 def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:
     """The key ``load_region_assets`` caches on."""
     return (spec.region_code, spec.scale, spec.asset_seed)
@@ -191,6 +261,14 @@ def pool_chunksize(n_specs: int, workers: int) -> int:
     quarantine need per-instance failure domains), so this no longer
     feeds a ``pool.map``; it remains the sizing rule for bulk transports
     that do batch (benchmarks, external executors).
+
+    Callers sizing chunks for *batched* replicate execution must count
+    group items, not specs: :func:`supervise_instances` computes its
+    batch groups **before** the warm-pool asset-key sort reorders
+    submission, and each group crosses to a worker as one indivisible
+    item — so ``pool_chunksize(len(groups), workers)``, never
+    ``pool_chunksize(len(specs), workers)``, and a replicate batch is
+    never split across workers by a chunk boundary.
     """
     return max(1, n_specs // (4 * workers))
 
@@ -243,34 +321,214 @@ def supervise_instances(
     if not specs:
         return supervise_map(_execute_one, [], registry=sink)
     workers = min(max_workers or os.cpu_count() or 1, len(specs))
-    keys = [_spec_key(s) for s in specs]
+
+    # Partition into batchable replicate groups BEFORE any warm-pool
+    # sorting: the asset-key sort reorders submission, and chunking over
+    # already-formed groups is what guarantees a batch is never split
+    # across workers (each group crosses as one indivisible item).
+    group_idx = (batch_groups(specs) if batching_enabled()
+                 else [[i] for i in range(len(specs))])
+    multi = [g for g in group_idx if len(g) > 1]
+    single_idx = [g[0] for g in group_idx if len(g) == 1]
+
+    if not multi:
+        return _fanout_singles(
+            specs, list(range(len(specs))), workers=workers,
+            parallel=parallel, sink=sink, retry=retry, faults=faults,
+            ledger=ledger, on_failure=on_failure)
+
+    sink.inc("batch.groups", len(multi))
+
+    # ---- phase 1: replicate groups through the batched kernel --------
+    group_items = [[specs[i] for i in g] for g in multi]
+    group_keys = [f"batch/{_spec_key(gi[0])}+{len(gi) - 1}"
+                  for gi in group_items]
+
+    def merge_group(_i: int, res: tuple[list, dict]) -> None:
+        entries, dump = res
+        sink.merge(dump)
+        for entry in entries:
+            if entry is not None and entry[0] == "ok":
+                sink.merge(entry[1][1])
+
+    # Pool whenever the caller asked for parallelism — even a single
+    # group: process isolation is what turns a hard worker death into a
+    # rebuild-and-salvage instead of taking down the supervisor.
+    if parallel and workers > 1:
+        g_workers = min(workers, len(group_items))
+        order = sorted(range(len(group_items)),
+                       key=lambda i: _asset_key(group_items[i][0]))
+        freq = Counter(_asset_key(gi[0]) for gi in group_items)
+        warm_keys = tuple(
+            k for k, _ in freq.most_common(max_preload_assets()))
+
+        def make_group_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=g_workers,
+                initializer=_warm_worker,
+                initargs=(warm_keys,),
+            )
+
+        gres = supervise_map(
+            _execute_group, group_items, keys=group_keys,
+            make_pool=make_group_pool, pool_fn=_execute_group_pooled,
+            submit_order=order, retry=retry, faults=faults,
+            on_failure=on_failure, registry=sink, ledger=ledger,
+            on_result=merge_group)
+        sink.gauge("parallel.workers", g_workers)
+    else:
+        gres = supervise_map(
+            _execute_group, group_items, keys=group_keys, retry=retry,
+            faults=faults, on_failure=on_failure, registry=sink,
+            ledger=ledger, on_result=merge_group)
+
+    results: list = [None] * len(specs)
+    quarantined: list[tuple[int, QuarantineRecord]] = []
+    evicted: list[tuple[int, BaseException]] = []
+    qmap = {rec.key: rec for rec in gres.quarantined}
+    for g, gi, gkey, res in zip(multi, group_items, group_keys,
+                                gres.results):
+        if res is None:
+            # The whole group was given up on (repeated pool loss or an
+            # unexpected batch-level error — under RAISE the exception
+            # already propagated out of supervise_map): expand the group
+            # record to per-spec records so the report stays per
+            # instance.
+            rec = qmap[gkey]
+            for pos, spec in zip(g, gi):
+                quarantined.append((pos, QuarantineRecord(
+                    key=_spec_key(spec), item=spec, error=rec.error,
+                    kind=rec.kind, attempts=rec.attempts)))
+            continue
+        entries, _dump = res
+        for pos, entry in zip(g, entries):
+            tag, payload = entry
+            if tag == "ok":
+                results[pos] = payload[0]
+            else:
+                evicted.append((pos, payload))
+
+    # ---- eviction triage: per-spec retry/quarantine ------------------
+    # Mirrors ``_Supervisor.on_error`` for the first (batched) attempt:
+    # a transient eviction re-enters the solo fan-out at attempt 1 with
+    # one failure charged against its budget; a permanent one (or a
+    # one-attempt policy) is quarantined here.
+    policy = retry if retry is not None else NO_RETRY_POLICY
+    retry_pos: set[int] = set()
+    n_evict_retries = 0
+    for pos, exc in sorted(evicted, key=lambda pair: pair[0]):
+        spec = specs[pos]
+        key = _spec_key(spec)
+        if isinstance(exc, InjectedFault):
+            sink.inc(f"faults.{exc.site}")
+        sink.inc("retry.failures")
+        kind = classify(exc)
+        if kind == PERMANENT or policy.max_attempts <= 1:
+            sink.inc("retry.quarantined")
+            if ledger is not None:
+                ledger.instance_failed(
+                    key, error=f"{type(exc).__name__}: {exc}",
+                    quarantined=True, kind=kind, attempts=1)
+            if on_failure == RAISE:
+                raise exc
+            quarantined.append((pos, QuarantineRecord(
+                key=key, item=spec, error=f"{type(exc).__name__}: {exc}",
+                kind=kind, attempts=1)))
+            continue
+        sink.inc("retry.retries")
+        delay = policy.backoff_s(key, 0)
+        sink.observe("retry.backoff_s", delay)
+        if delay > 0:
+            time.sleep(delay)
+        n_evict_retries += 1
+        retry_pos.add(pos)
+
+    # ---- phase 2: singles plus retried evictions, per-spec futures ---
+    solo_idx = sorted(single_idx + list(retry_pos))
+    sres = None
+    if solo_idx:
+        sres = _fanout_singles(
+            specs, solo_idx, workers=workers, parallel=parallel,
+            sink=sink, retry=retry, faults=faults, ledger=ledger,
+            on_failure=on_failure,
+            start_attempts=[1 if i in retry_pos else 0 for i in solo_idx],
+            prior_failures=[1 if i in retry_pos else 0 for i in solo_idx])
+        qiter = iter(sres.quarantined)
+        for i, outcome in zip(solo_idx, sres.results):
+            if outcome is None:
+                quarantined.append((i, next(qiter)))
+            else:
+                results[i] = outcome
+
+    quarantined.sort(key=lambda pair: pair[0])
+    return FanoutResult(
+        results=results,
+        quarantined=[rec for _i, rec in quarantined],
+        attempts=gres.attempts + (sres.attempts if sres else 0),
+        retries=(gres.retries + n_evict_retries
+                 + (sres.retries if sres else 0)),
+        pool_rebuilds=(gres.pool_rebuilds
+                       + (sres.pool_rebuilds if sres else 0)),
+    )
+
+
+def _fanout_singles(
+    specs: list[InstanceSpec],
+    idx: list[int],
+    *,
+    workers: int,
+    parallel: bool,
+    sink,
+    retry: RetryPolicy | None,
+    faults: FaultPlan | None,
+    ledger,
+    on_failure: str,
+    start_attempts: list[int] | None = None,
+    prior_failures: list[int] | None = None,
+) -> FanoutResult:
+    """Per-spec supervised fan-out over ``specs[i] for i in idx``.
+
+    The historical one-future-per-instance path, shared by the no-batch
+    case and phase 2 of the batched flow (singleton groups plus specs
+    evicted from their batch, which arrive with non-zero
+    ``start_attempts`` / ``prior_failures`` so their attempt sequence
+    continues where the batch left off).  Results come back unpacked
+    (outcome or None), in ``idx`` order.
+    """
+    items = [specs[i] for i in idx]
+    keys = [_spec_key(s) for s in items]
 
     def merge_dump(_i: int, pair: tuple[InstanceOutcome, dict]) -> None:
         sink.merge(pair[1])
 
-    if not parallel or len(specs) == 1 or workers <= 1:
+    if not parallel or len(items) == 1 or workers <= 1:
         res = supervise_map(
-            _execute_one, specs, keys=keys, retry=retry, faults=faults,
+            _execute_one, items, keys=keys, retry=retry, faults=faults,
             on_failure=on_failure, registry=sink, ledger=ledger,
-            on_result=merge_dump)
+            on_result=merge_dump, start_attempts=start_attempts,
+            prior_failures=prior_failures)
     else:
-        order = sorted(range(len(specs)), key=lambda i: _asset_key(specs[i]))
-        freq = Counter(_asset_key(s) for s in specs)
-        warm_keys = tuple(k for k, _ in freq.most_common(max_preload_assets()))
+        s_workers = min(workers, len(items))
+        order = sorted(range(len(items)),
+                       key=lambda i: _asset_key(items[i]))
+        freq = Counter(_asset_key(s) for s in items)
+        warm_keys = tuple(
+            k for k, _ in freq.most_common(max_preload_assets()))
 
         def make_pool() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
-                max_workers=workers,
+                max_workers=s_workers,
                 initializer=_warm_worker,
                 initargs=(warm_keys,),
             )
 
         res = supervise_map(
-            _execute_one, specs, keys=keys, make_pool=make_pool,
+            _execute_one, items, keys=keys, make_pool=make_pool,
             pool_fn=_execute_one_pooled, submit_order=order, retry=retry,
             faults=faults, on_failure=on_failure, registry=sink,
-            ledger=ledger, on_result=merge_dump)
-        sink.gauge("parallel.workers", workers)
+            ledger=ledger, on_result=merge_dump,
+            start_attempts=start_attempts, prior_failures=prior_failures)
+        sink.gauge("parallel.workers", s_workers)
     res.results = [pair[0] if pair is not None else None
                    for pair in res.results]
     return res

@@ -91,6 +91,48 @@ def build_interventions(params: dict[str, Any]) -> list:
     return ivs
 
 
+@lru_cache(maxsize=128)
+def _cached_covid_model(tau: float, symp: float):
+    """One COVID model per (TAU, SYMP) cell, reused across replicates.
+
+    Models are immutable once built and construction revalidates the whole
+    PTTS, so replicate batches (same cell, different seeds) share one
+    instance instead of paying the build per replicate.
+    """
+    return build_covid_model_with_symp_fraction(tau, symp)
+
+
+def model_for_params(params: dict[str, Any]):
+    """The (cached) disease model a cell's parameters imply."""
+    tau = float(params.get("TAU", 0.18))
+    symp = float(params.get("SYMP", 0.65))
+    return _cached_covid_model(tau, symp)
+
+
+def prepare_instance(
+    assets: RegionAssets,
+    params: dict[str, Any],
+    *,
+    seed: int,
+) -> tuple[Simulation, Any]:
+    """Build and seed one instance's simulation (not yet run).
+
+    Shared by :func:`run_instance` and the batched executor, which needs
+    the constructed-but-unrun lanes to stack them.  Returns the simulation
+    and its disease model.
+    """
+    backend = params.get("backend", params.get("BACKEND", "auto"))
+    model = model_for_params(params)
+    sim = Simulation(
+        model, assets.pop, assets.net,
+        seed=seed,
+        interventions=build_interventions(params),
+        backend=backend,
+    )
+    initialize_from_surveillance(sim, assets.truth.latest_by_county())
+    return sim, model
+
+
 def run_instance(
     assets: RegionAssets,
     params: dict[str, Any],
@@ -102,17 +144,7 @@ def run_instance(
 
     Returns the result and the disease model used (needed for analytics).
     """
-    tau = float(params.get("TAU", 0.18))
-    symp = float(params.get("SYMP", 0.65))
-    backend = params.get("backend", params.get("BACKEND", "auto"))
-    model = build_covid_model_with_symp_fraction(tau, symp)
-    sim = Simulation(
-        model, assets.pop, assets.net,
-        seed=seed,
-        interventions=build_interventions(params),
-        backend=backend,
-    )
-    initialize_from_surveillance(sim, assets.truth.latest_by_county())
+    sim, model = prepare_instance(assets, params, seed=seed)
     result = sim.run(n_days)
     return result, model
 
@@ -151,6 +183,68 @@ def execute_spec(spec, *, metrics=None) -> "InstanceOutcome":
         attack_rate=result.attack_rate(model),
         transitions=result.log.size,
     )
+
+
+def execute_specs_batched(
+    specs: list, *, metrics=None
+) -> list[tuple["InstanceOutcome", dict]]:
+    """Execute one batchable spec group through the stacked kernel.
+
+    The group executor the fan-out routes replicate batches to: all specs
+    must share :func:`~repro.core.batching.group_key` (one region-asset
+    build, one horizon).  Lanes are prepared per spec, stacked into a
+    :class:`~repro.epihiper.batch.BatchedSimulation`, and advanced K per
+    vectorized tick; each spec still gets its own
+    :class:`~repro.core.parallel.InstanceOutcome`, bit-identical to a solo
+    :func:`execute_spec` run.
+
+    Raises :class:`~repro.epihiper.batch.BatchIncompatible` when the lane
+    models cannot share a tick loop — callers fall back to per-spec
+    serial execution.
+
+    Args:
+        specs: the group (>= 1 spec, shared group key).
+        metrics: registry receiving the batch-level telemetry —
+            ``runner.assets_s`` / ``runner.batch_setup_s`` /
+            ``runner.simulate_s`` timers, the ``batch.size`` gauge, and
+            the ``batch.*`` phase timers; defaults to the process
+            :func:`~repro.obs.registry.global_registry`.
+
+    Returns:
+        One ``(outcome, dump)`` pair per spec, in input order.  The dump
+        is the spec's own per-lane telemetry (``runner.instances`` plus
+        the lane's ``engine.*`` counters), shaped exactly like a solo
+        worker's registry dump so the fan-out's merge path is unchanged.
+    """
+    from ..epihiper.batch import BatchedSimulation
+    from ..obs.registry import MetricsRegistry, global_registry
+    from .parallel import InstanceOutcome
+
+    reg = metrics if metrics is not None else global_registry()
+    first = specs[0]
+    with reg.timer("runner.assets_s"):
+        assets = load_region_assets(first.region_code, first.scale,
+                                    first.asset_seed)
+    with reg.timer("runner.batch_setup_s"):
+        lanes = [prepare_instance(assets, s.params, seed=s.seed)
+                 for s in specs]
+        batch = BatchedSimulation([sim for sim, _model in lanes],
+                                  metrics=reg)
+    with reg.timer("runner.simulate_s"):
+        results = batch.run(first.n_days)
+    out: list[tuple[InstanceOutcome, dict]] = []
+    for spec, (_sim, model), result in zip(specs, lanes, results):
+        lane_reg = MetricsRegistry()
+        lane_reg.inc("runner.instances")
+        lane_reg.merge(result.metrics)
+        outcome = InstanceOutcome(
+            spec=spec,
+            confirmed=confirmed_series(result, model, spec.n_days),
+            attack_rate=result.attack_rate(model),
+            transitions=result.log.size,
+        )
+        out.append((outcome, lane_reg.dump()))
+    return out
 
 
 def confirmed_series(

@@ -8,6 +8,7 @@ Public entry points:
 - :func:`repro.epihiper.partition_threshold` — the paper's edge partitioner.
 """
 
+from .batch import BatchedSimulation, BatchIncompatible
 from .covid import (
     build_covid_model,
     build_covid_model_with_symp_fraction,
@@ -57,6 +58,8 @@ from .states import DiscreteDwell, FixedDwell, HealthState, NormalDwell
 from .transmission import TransmissionBackend, TransmissionEvents
 
 __all__ = [
+    "BatchIncompatible",
+    "BatchedSimulation",
     "model_from_dict",
     "model_to_dict",
     "read_model_json",

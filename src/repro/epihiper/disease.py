@@ -112,8 +112,19 @@ class DiseaseModel:
         self.is_deceased = np.asarray(
             [s.deceased for s in states], dtype=bool)
 
-        # Per-state outgoing edges, as (dst codes, (n_out x n_age) probs).
+        # Per-state outgoing edges, as (dst codes, (n_out x n_age) probs),
+        # plus the column-wise cumulative probabilities the scheduler's
+        # inverse-cdf edge choice uses (precomputed here because cumsum of
+        # a column equals the column of the cumsum — gathering age columns
+        # out of this table is bit-identical to cumsumming after the
+        # gather, at none of the per-call cost).
         self.out_edges: dict[int, tuple[np.ndarray, np.ndarray, list[DwellTime]]] = {}
+        self.out_cum: dict[int, np.ndarray] = {}
+        #: ``out_cum`` transposed into plain-python rows (``[age][edge]``)
+        #: plus the destination codes as python ints — the scalar
+        #: small-batch scheduler walks these without numpy scalar boxing.
+        self.out_cum_age: dict[int, list[list[float]]] = {}
+        self.out_dsts: dict[int, list[int]] = {}
         for code in range(n):
             outs = [p for p in progressions if self.index[p.src] == code]
             if not outs:
@@ -121,6 +132,9 @@ class DiseaseModel:
             dsts = np.asarray([self.index[p.dst] for p in outs], np.int8)
             probs = np.asarray([p.prob for p in outs], np.float64)
             self.out_edges[code] = (dsts, probs, [p.dwell for p in outs])
+            self.out_cum[code] = np.cumsum(probs, axis=0)
+            self.out_cum_age[code] = self.out_cum[code].T.tolist()
+            self.out_dsts[code] = dsts.tolist()
 
         # Exposure map: susceptible-state code -> exposed-state code, and the
         # per-(sus, inf) omega matrix used by the transmission kernel.

@@ -32,6 +32,10 @@ from .transmission import TransmissionBackend, transmission_step
 EDGE_BYTES: int = 40
 NODE_BYTES: int = 24
 SCHEDULED_CHANGE_BYTES: int = 24
+#: Bytes per recorded transition line and per suppressor operation in the
+#: dynamic-memory estimate (shared with the batched driver).
+TRANSITION_BYTES: int = 16
+EDGE_OP_BYTES: int = 8
 
 #: Work counters (``engine.<name>``) every simulation publishes; pinned so
 #: the legacy ``counters`` view exposes the full key set from tick zero.
@@ -291,8 +295,8 @@ class Simulation:
         dynamic = (
             self.suppressor.n_suppressed * SCHEDULED_CHANGE_BYTES
             + self.sched.n_pending * SCHEDULED_CHANGE_BYTES
-            + self.metrics.value("engine.transitions") * 16
-            + self.suppressor.total_operations * 8
+            + self.metrics.value("engine.transitions") * TRANSITION_BYTES
+            + self.suppressor.total_operations * EDGE_OP_BYTES
         )
         return self._mem_base + dynamic
 
@@ -313,11 +317,25 @@ class Simulation:
         return self._run(n_days)
 
     def _run(self, n_days: int) -> SimulationResult:
+        self._ensure_initial_census()
+        for _ in range(n_days):
+            self.step()
+        return self._assemble_result()
+
+    def _ensure_initial_census(self) -> None:
+        """Record the post-initialization census once (tick-0 row)."""
         if not self._counts_history:
             self._counts_history.append(self.current_state_counts())
             self._memory_history.append(self._memory_estimate())
-        for _ in range(n_days):
-            self.step()
+
+    def _assemble_result(self) -> SimulationResult:
+        """Freeze the run into a :class:`SimulationResult`.
+
+        Shared by :meth:`_run` and the batched driver
+        (:class:`~repro.epihiper.batch.BatchedSimulation`), which advances
+        many simulations through their per-tick phases itself and then
+        assembles each lane's result exactly as a solo run would.
+        """
         return SimulationResult(
             region_code=self.net.region_code,
             n_days=self.tick,

@@ -37,10 +37,15 @@ def proportional_county_seeds(
     if total_seeds <= 0:
         return np.empty(0, dtype=np.int64)
     total_seeds = min(total_seeds, pop.size)
-    weights = np.asarray(
-        [max(0.0, county_cases.get(int(c), 0.0)) for c in pop.county],
+    # Look the case count up once per distinct county and broadcast through
+    # the inverse index: same float64 weights as a per-person dict lookup
+    # (so the rng.choice draw is unchanged) without the O(|V|) Python loop.
+    counties, inverse = np.unique(pop.county, return_inverse=True)
+    per_county = np.asarray(
+        [max(0.0, county_cases.get(int(c), 0.0)) for c in counties],
         dtype=np.float64,
     )
+    weights = per_county[inverse]
     if weights.sum() <= 0:
         weights[:] = 1.0
     weights /= weights.sum()

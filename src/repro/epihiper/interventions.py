@@ -192,6 +192,36 @@ class IncidentEdges:
         counts = np.bincount(endpoints, minlength=n_nodes)
         self._offsets = np.concatenate([[0], np.cumsum(counts)])
         self._others = np.concatenate([target, source])[order]
+        self._degrees: np.ndarray | None = None
+        self._max_degree: float | None = None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-person incident-slot count as float64 (lazily built).
+
+        Kept in float form so a frontier-workload estimate over a boolean
+        infectious mask is one BLAS dot product (``mask @ degrees``) —
+        exact for any realistic degree sum, and O(|V|) with no
+        intermediate index array (see
+        :func:`~repro.epihiper.transmission.resolve_backend`).
+        """
+        if self._degrees is None:
+            self._degrees = np.diff(self._offsets).astype(np.float64)
+        return self._degrees
+
+    @property
+    def max_degree(self) -> float:
+        """Largest per-person incident-slot count (lazily cached).
+
+        ``infectious_count * max_degree`` upper-bounds the frontier
+        workload, letting the per-tick ``auto`` resolution skip the exact
+        degree-sum dot product whenever one popcount already proves the
+        frontier kernel is below the crossover.
+        """
+        if self._max_degree is None:
+            deg = self.degrees
+            self._max_degree = float(deg.max()) if deg.size else 0.0
+        return self._max_degree
 
     def _gather_slots(self, pids: np.ndarray) -> np.ndarray:
         """Vectorised CSR slot gather: every slot of every pid, in pid order.

@@ -50,6 +50,26 @@ class TransitionRecorder:
         else:
             self._infectors.append(np.asarray(infectors, dtype=np.int64))
 
+    def record_chunks(
+        self,
+        ticks: np.ndarray,
+        pids: np.ndarray,
+        states: np.ndarray,
+        infectors: np.ndarray,
+    ) -> None:
+        """Append pre-built column chunks without conversion.
+
+        The batched driver assembles the columns of several lanes in one
+        pass and hands each lane its slice; callers own the dtypes
+        (int32 / int64 / int8 / int64, matching :meth:`record`).
+        """
+        if pids.shape[0] == 0:
+            return
+        self._ticks.append(ticks)
+        self._pids.append(pids)
+        self._states.append(states)
+        self._infectors.append(infectors)
+
     def finalize(self) -> "TransitionLog":
         """Concatenate all chunks into an immutable :class:`TransitionLog`."""
         if not self._ticks:

@@ -33,6 +33,126 @@ class ProgressionState:
         )
 
 
+#: Entry batches at or below this size take the scalar scheduling path.
+#: Progression fires a handful of persons per tick at calibration scales,
+#: and the vectorised path pays ~20 numpy dispatches per call regardless
+#: of size; plain-Python arithmetic wins below roughly a dozen entries.
+_SMALL_BATCH: int = 12
+
+#: Plain-python copies of population age-group columns, keyed by array
+#: identity.  The scalar scheduler indexes ages with python ints; list
+#: indexing skips numpy scalar boxing (~10x per lookup).  The strong
+#: reference in the value keeps ``id()`` keys from being recycled.
+_AGE_LISTS: dict[int, tuple[np.ndarray, list[int]]] = {}
+
+
+def _age_list(age_group: np.ndarray) -> list[int]:
+    hit = _AGE_LISTS.get(id(age_group))
+    if hit is None or hit[0] is not age_group:
+        hit = (age_group, age_group.tolist())
+        _AGE_LISTS[id(age_group)] = hit
+    return hit[1]
+
+
+def _schedule_small(
+    model: DiseaseModel,
+    sched: ProgressionState,
+    pids: np.ndarray,
+    codes: np.ndarray,
+    age_group: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    """Scalar twin of the vectorised scheduler for tiny entry batches.
+
+    Reproduces the vectorised path's RNG consumption exactly: groups in
+    ascending entered-code order (original person order within a group),
+    one uniform per person per group, then dwell draws grouped by chosen
+    edge in ascending edge order.  Scalar generator calls consume the
+    stream like their size-1/size-n array forms, so outputs are
+    bit-identical to the vectorised path.
+    """
+    n_total = pids.shape[0]
+    pids_l = pids.tolist()
+    codes_l = codes.tolist()
+    first_code = codes_l[0]
+    if n_total == 1 or all(c == first_code for c in codes_l):
+        grouped = ((first_code, pids_l),)
+    else:
+        order = sorted(range(n_total), key=codes_l.__getitem__)
+        grouped = []
+        for i in order:
+            if grouped and grouped[-1][0] == codes_l[i]:
+                grouped[-1][1].append(pids_l[i])
+            else:
+                grouped.append((codes_l[i], [pids_l[i]]))
+    dwell_arr = sched.dwell
+    next_arr = sched.next_state
+    pending = 0
+    for code, persons in grouped:
+        out = model.out_edges.get(code)
+        if out is None:
+            for p in persons:
+                if dwell_arr[p] > 0:
+                    pending -= 1
+                dwell_arr[p] = 0
+                next_arr[p] = -1
+            continue
+        dwells = out[2]
+        dsts = model.out_dsts[code]
+        n_out = len(dsts)
+        n_g = len(persons)
+        # One array draw consumes the stream exactly like n_g scalar
+        # draws; the python-list round trip skips numpy scalar boxing.
+        us = rng.random(n_g).tolist() if n_g > 1 else [rng.random()]
+        if n_out == 1:
+            dst = dsts[0]
+            for p in persons:
+                if dwell_arr[p] > 0:
+                    pending -= 1
+                next_arr[p] = dst
+            d0 = dwells[0]
+            if n_g == 1:
+                drawn = (d0.sample_one(rng),)
+            else:
+                drawn = d0.sample(n_g, rng).tolist()
+            for p, d in zip(persons, drawn):
+                dwell_arr[p] = d
+                if d > 0:
+                    pending += 1
+        else:
+            cum_age = model.out_cum_age[code]
+            ages = _age_list(age_group)
+            choices = []
+            last = n_out - 1
+            for p, u in zip(persons, us):
+                if dwell_arr[p] > 0:
+                    pending -= 1
+                crow = cum_age[ages[p]]
+                u *= crow[last]
+                k = 0
+                while k < last and u >= crow[k]:
+                    k += 1
+                choices.append(k)
+                next_arr[p] = dsts[k]
+            for k in range(n_out):
+                members = [i for i, c in enumerate(choices) if c == k]
+                if not members:
+                    continue
+                if len(members) == 1:
+                    d = dwells[k].sample_one(rng)
+                    p = persons[members[0]]
+                    dwell_arr[p] = d
+                    if d > 0:
+                        pending += 1
+                else:
+                    drawn = dwells[k].sample(len(members), rng).tolist()
+                    for i, d in zip(members, drawn):
+                        dwell_arr[persons[i]] = d
+                        if d > 0:
+                            pending += 1
+    sched.n_pending += pending
+
+
 def schedule_entries(
     model: DiseaseModel,
     sched: ProgressionState,
@@ -52,30 +172,93 @@ def schedule_entries(
     """
     if pids.size == 0:
         return
-    # Terminal entries: clear any schedule.
-    for code in np.unique(codes):
-        sel = codes == code
-        persons = pids[sel]
-        out = model.out_edges.get(int(code))
+    if pids.size <= _SMALL_BATCH:
+        _schedule_small(model, sched, pids, codes, age_group, rng)
+        return
+    # Group entries by entered code.  Transmission batches enter a single
+    # code (the exposed state), so the common case is one group; otherwise
+    # a stable argsort reproduces np.unique's ascending-code iteration with
+    # the original person order preserved inside each group — the RNG draw
+    # sequence (one uniform batch per code with out-edges, then one dwell
+    # batch per chosen edge) is identical either way.
+    if (codes == codes[0]).all():
+        grouped = ((int(codes[0]), pids),)
+    else:
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_pids = pids[order]
+        cuts = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        bounds = np.concatenate(([0], cuts, [sorted_codes.shape[0]]))
+        grouped = tuple(
+            (int(sorted_codes[bounds[j]]), sorted_pids[bounds[j]:bounds[j + 1]])
+            for j in range(bounds.shape[0] - 1))
+    for code, persons in grouped:
+        out = model.out_edges.get(code)
         was_pending = int((sched.dwell[persons] > 0).sum())
         if out is None:
+            # Terminal entries: clear any schedule.
             sched.dwell[persons] = 0
             sched.next_state[persons] = -1
             sched.n_pending -= was_pending
             continue
         dsts, probs, dwells = out
-        # probs is (n_out, n_age); pick the column for each person's age
-        # group, then sample an outgoing edge per person.
-        p = probs[:, age_group[persons]]  # (n_out, n_persons)
-        cum = np.cumsum(p, axis=0)
-        u = rng.random(persons.shape[0]) * cum[-1]
-        choice = (u[None, :] >= cum).sum(axis=0)  # index of chosen edge
-        sched.next_state[persons] = dsts[choice]
-        for k in range(dsts.shape[0]):
-            grp = persons[choice == k]
-            if grp.size:
-                sched.dwell[grp] = dwells[k].sample(grp.size, rng)
-        sched.n_pending += int((sched.dwell[persons] > 0).sum()) - was_pending
+        n = persons.shape[0]
+        u = rng.random(n)
+        if dsts.shape[0] == 1:
+            # Single outgoing edge: the choice is forced (the uniform batch
+            # is still drawn, keeping the stream layout uniform).
+            sched.next_state[persons] = dsts[0]
+            new_dwell = dwells[0].sample(n, rng)
+        else:
+            # out_cum is the precomputed column-wise cumulative of the
+            # (n_out, n_age) probs; gathering person columns out of it is
+            # bit-identical to cumsumming after the gather.
+            cum = model.out_cum[code][:, age_group[persons]]
+            u *= cum[-1]
+            choice = (u[None, :] >= cum).sum(axis=0)  # index of chosen edge
+            sched.next_state[persons] = dsts[choice]
+            new_dwell = np.empty(n, dtype=np.int32)
+            for k in range(dsts.shape[0]):
+                grp = choice == k
+                n_grp = int(grp.sum())
+                if n_grp:
+                    new_dwell[grp] = dwells[k].sample(n_grp, rng)
+        sched.dwell[persons] = new_dwell
+        sched.n_pending += int((new_dwell > 0).sum()) - was_pending
+
+
+def batched_progression_step(
+    dwell: np.ndarray,
+    next_state: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One progression tick over ``K`` stacked replicate lanes.
+
+    The batched twin of :func:`progression_step`: ``dwell`` and
+    ``next_state`` are ``(K, N)`` stacks whose rows are the per-lane
+    scheduling arrays.  All decrements, zero-crossing scans, and the
+    fired-transition extraction run as whole-stack operations;
+    ``np.nonzero`` on the stacked fire mask is row-major, so the flat
+    outputs are the per-lane solo results concatenated in lane order with
+    each lane's pids ascending — bit-identical to K solo calls.
+
+    Returns:
+        ``(sizes, pids, codes, n_hit_zero)``: per-lane fired counts, the
+        lane-major flat fired pids and their scheduled destination codes,
+        and the per-lane count of dwell counters that reached zero (the
+        caller's ``n_pending`` decrement).
+    """
+    pending = dwell > 0
+    np.subtract(dwell, 1, out=dwell, where=pending)
+    hit_zero = pending & (dwell == 0)
+    n_hit = hit_zero.sum(axis=1)
+    fire = hit_zero & (next_state >= 0)
+    sizes = fire.sum(axis=1)
+    lanes_all, pids_all = np.nonzero(fire)
+    flat = lanes_all * dwell.shape[1] + pids_all
+    next_flat = next_state.reshape(-1)
+    codes = next_flat[flat]
+    next_flat[flat] = -1
+    return sizes, pids_all, codes, n_hit
 
 
 def progression_step(

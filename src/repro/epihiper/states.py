@@ -9,6 +9,8 @@ the state machine independently of their contacts (Appendix D).
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,19 +52,163 @@ class HealthState:
         return self.susceptibility > 0.0
 
 
+# --- inverse normal CDF (Wichura's AS241, PPND16) ---------------------------
+
+_NDTRI_A = (3.3871328727963666080e0, 1.3314166789178437745e2,
+            1.9715909503065514427e3, 1.3731693765509461125e4,
+            4.5921953931549871457e4, 6.7265770927008700853e4,
+            3.3430575583588128105e4, 2.5090809287301226727e3)
+_NDTRI_B = (1.0, 4.2313330701600911252e1, 6.8718700749205790830e2,
+            5.3941960214247511077e3, 2.1213794301586595867e4,
+            3.9307895800092710610e4, 2.8729085735721942674e4,
+            5.2264952788528545610e3)
+_NDTRI_C = (1.42343711074968357734e0, 4.63033784615654529590e0,
+            5.76949722146069140550e0, 3.64784832476320460504e0,
+            1.27045825245236838258e0, 2.41780725177450611770e-1,
+            2.27238449892691845833e-2, 7.74545014278341407640e-4)
+_NDTRI_D = (1.0, 2.05319162663775882187e0, 1.67638483018380384940e0,
+            6.89767334985100004550e-1, 1.48103976427480074590e-1,
+            1.51986665636164571966e-2, 5.47593808499534494600e-4,
+            1.05075007164441684324e-9)
+_NDTRI_E = (6.65790464350110377720e0, 5.46378491116411436990e0,
+            1.78482653991729133580e0, 2.96560571828504891230e-1,
+            2.65321895265761230930e-2, 1.24266094738807843860e-3,
+            2.71155556874348757815e-5, 2.01033439929228813265e-7)
+_NDTRI_F = (1.0, 5.99832206555887937690e-1, 1.36929880922735805310e-1,
+            1.48753612908506148525e-2, 7.86869131145613259100e-4,
+            1.84631831751005468180e-5, 1.42151175831644588870e-7,
+            2.04426310338993978564e-15)
+
+
+def _poly(coeffs: tuple[float, ...], x: np.ndarray) -> np.ndarray:
+    acc = np.full_like(x, coeffs[-1])
+    for c in reversed(coeffs[:-1]):
+        acc *= x
+        acc += c
+    return acc
+
+
+def inverse_normal_cdf(u: np.ndarray) -> np.ndarray:
+    """Quantile function of the standard normal, elementwise on ``[0, 1)``.
+
+    Wichura's algorithm AS241 (PPND16 variant): rational approximations on
+    a central region and two tail regions, accurate to full double
+    precision.  Built from elementwise arithmetic, ``sqrt``, and ``log``
+    only, so the result for a given input value does not depend on where
+    it sits in the array — the property the batched scheduler relies on
+    when it evaluates cross-lane concatenations of the per-lane draws.
+    ``u == 0`` maps to ``-inf``-free large negatives via a clamp (callers
+    floor dwell times at one tick anyway).
+    """
+    u = np.asarray(u, dtype=np.float64)
+    q = u - 0.5
+    # Central rational approximation over the full array (~85% of uniform
+    # draws land here); the clamp only affects tail entries, whose central
+    # values are discarded, and keeps the denominator polynomial away
+    # from its sign change.
+    r_c = np.maximum(0.180625 - q * q, 0.0)
+    x = q * _poly(_NDTRI_A, r_c) / _poly(_NDTRI_B, r_c)
+
+    # Tails (|q| > 0.425): r = sqrt(-log(min(u, 1-u))), evaluated on the
+    # tail subset only — elementwise, so subset extraction changes nothing.
+    tails = np.flatnonzero(np.abs(q) > 0.425)
+    if tails.size:
+        q_t = q[tails]
+        r_t = np.where(q_t < 0.0, u[tails], 1.0 - u[tails])
+        r_t = np.sqrt(-np.log(np.maximum(r_t, 1e-312)))
+        near = r_t <= 5.0
+        r_n = r_t - 1.6
+        r_f = r_t - 5.0
+        x_t = np.where(
+            near,
+            _poly(_NDTRI_C, r_n) / _poly(_NDTRI_D, r_n),
+            _poly(_NDTRI_E, r_f) / _poly(_NDTRI_F, r_f))
+        x[tails] = np.where(q_t < 0.0, -x_t, x_t)
+    return x
+
+
+def _poly_scalar(coeffs: tuple[float, ...], x: float) -> float:
+    acc = coeffs[-1]
+    for c in reversed(coeffs[:-1]):
+        acc = acc * x + c
+    return acc
+
+
+def inverse_normal_cdf_scalar(u: float) -> float:
+    """Scalar twin of :func:`inverse_normal_cdf`, bit-identical.
+
+    Plain-float Horner evaluation: python float arithmetic is the same
+    IEEE-754 double arithmetic as numpy's elementwise ufuncs, and
+    ``math.sqrt`` matches ``np.sqrt`` (both correctly rounded).  The one
+    operation without that guarantee is ``log`` — numpy ships its own —
+    so tails call ``np.log`` on the scalar, which runs the same ufunc
+    inner loop as the array path.  ``test_states.py`` pins the
+    scalar/array identity.
+    """
+    q = u - 0.5
+    if -0.425 <= q <= 0.425:
+        r = 0.180625 - q * q
+        if r < 0.0:
+            r = 0.0
+        return q * _poly_scalar(_NDTRI_A, r) / _poly_scalar(_NDTRI_B, r)
+    r = u if q < 0.0 else 1.0 - u
+    if r < 1e-312:
+        r = 1e-312
+    r = math.sqrt(-float(np.log(r)))
+    if r <= 5.0:
+        r -= 1.6
+        x = _poly_scalar(_NDTRI_C, r) / _poly_scalar(_NDTRI_D, r)
+    else:
+        r -= 5.0
+        x = _poly_scalar(_NDTRI_E, r) / _poly_scalar(_NDTRI_F, r)
+    return -x if q < 0.0 else x
+
+
 class DwellTime:
     """A dwell-time distribution attached to a PTTS transition.
 
     The paper's Table III uses three families: fixed times, truncated normal
     times, and discrete distributions over day counts.  All samples are whole
     ticks of at least 1.
+
+    Every family consumes exactly ONE uniform per draw — fixed dwells burn
+    one, normal dwells invert the CDF instead of calling ``rng.normal``.
+    This makes the scheduler's stream consumption size-deterministic (a
+    batch of ``n`` entries always consumes ``2n`` uniforms: ``n`` edge
+    choices plus ``n`` dwell draws), which is what lets the batched
+    multi-replicate driver pre-draw each lane's block in a single call and
+    vectorise the value computation across lanes while staying
+    bit-identical to solo runs.
     """
 
     kind: str
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``n`` dwell times (int32 ticks, each >= 1)."""
+        """Draw ``n`` dwell times (int32 ticks, each >= 1).
+
+        Equivalent to ``values_from_uniforms(rng.random(n))`` for every
+        family — one uniform consumed per draw.
+        """
+        return self.values_from_uniforms(rng.random(n))
+
+    def values_from_uniforms(self, u: np.ndarray) -> np.ndarray:
+        """Map uniforms in ``[0, 1)`` to dwell times (int32, >= 1).
+
+        The pure value half of :meth:`sample`: deterministic, elementwise,
+        and independent of array size/position, so callers may evaluate it
+        over any concatenation of per-lane uniform blocks.
+        """
         raise NotImplementedError
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single dwell time as a plain int.
+
+        Consumes the stream exactly like ``sample(1, rng)`` and returns
+        the same value (numpy generators fill a size-1 request with the
+        one draw a scalar request makes), without the array round trip —
+        the scheduler's small-batch path calls this in a tight loop.
+        """
+        return int(self.sample(1, rng)[0])
 
     def mean(self) -> float:
         """Expected dwell time in ticks."""
@@ -80,9 +226,19 @@ class FixedDwell(DwellTime):
         if self.days < 1:
             raise ValueError("fixed dwell must be >= 1 tick")
 
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Return ``n`` copies of the fixed dwell time."""
-        return np.full(n, self.days, dtype=np.int32)
+    def values_from_uniforms(self, u: np.ndarray) -> np.ndarray:
+        """The fixed dwell time, once per uniform (values ignored).
+
+        The uniform per draw is burnt deliberately: it keeps every dwell
+        family's stream consumption at exactly one uniform per draw, the
+        size-determinism the batched scheduler's pre-drawn blocks rely on.
+        """
+        return np.full(u.shape[0], self.days, dtype=np.int32)
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """The fixed dwell time (consumes one uniform, like ``sample(1)``)."""
+        rng.random()
+        return self.days
 
     def mean(self) -> float:
         """The fixed dwell time."""
@@ -101,10 +257,33 @@ class NormalDwell(DwellTime):
         if self.sd < 0:
             raise ValueError("sd must be non-negative")
 
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``n`` rounded, >= 1 truncated-normal dwell times."""
-        draws = rng.normal(self.mu, self.sd, size=n)
+    def values_from_uniforms(self, u: np.ndarray) -> np.ndarray:
+        """Rounded, >= 1 normal dwell times via exact CDF inversion.
+
+        ``mu + sd * Phi^-1(u)`` draws the same N(mu, sd) distribution as
+        ``rng.normal`` but from exactly one uniform per value — unlike the
+        generator's ziggurat, whose raw-stream consumption per draw is
+        variable.  The one-uniform layout is what the batched scheduler's
+        fixed-size stream blocks require.  Tiny batches take the scalar
+        twin (same values; the vectorised inversion costs ~35 ufunc
+        dispatches regardless of size).
+        """
+        if u.shape[0] <= 24:
+            return np.asarray(
+                [max(1, round(self.mu + self.sd * inverse_normal_cdf_scalar(v)))
+                 for v in u.tolist()], dtype=np.int32)
+        draws = self.mu + self.sd * inverse_normal_cdf(u)
         return np.maximum(1, np.rint(draws)).astype(np.int32)
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Scalar draw: same stream bytes and value as ``sample(1, rng)``.
+
+        ``round`` and ``np.rint`` both round halves to even, and the
+        scalar CDF inversion is the bit-identical twin of the array one,
+        so the scalar arithmetic reproduces the array path exactly.
+        """
+        u = rng.random()
+        return max(1, round(self.mu + self.sd * inverse_normal_cdf_scalar(u)))
 
     def mean(self) -> float:
         """Approximate mean (the normal mean, floored at one tick)."""
@@ -126,12 +305,31 @@ class DiscreteDwell(DwellTime):
             raise ValueError("all day values must be >= 1")
         if abs(sum(self.probs) - 1.0) > 1e-9:
             raise ValueError(f"probs must sum to 1, got {sum(self.probs)}")
+        # Precompute the normalised cdf and the day array once: sampling
+        # sits on the progression hot path (one call per chosen PTTS edge
+        # per tick) and ``rng.choice`` revalidates both on every call.
+        cdf = np.cumsum(np.asarray(self.probs, dtype=np.float64))
+        cdf /= cdf[-1]
+        object.__setattr__(self, "_cdf", cdf)
+        object.__setattr__(self, "_days_arr",
+                           np.asarray(self.days, dtype=np.int32))
 
-    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``n`` day counts from the discrete distribution."""
-        return rng.choice(
-            np.asarray(self.days, dtype=np.int32), size=n, p=self.probs
-        )
+    def values_from_uniforms(self, u: np.ndarray) -> np.ndarray:
+        """Inverse-cdf lookup over the precomputed cumulative weights.
+
+        Reproduces ``rng.choice(days, size=n, p=probs)`` bit for bit
+        (``Generator.choice`` is the same cdf ``searchsorted`` internally)
+        at a fraction of its overhead.
+        """
+        return self._days_arr[np.searchsorted(self._cdf, u, side="right")]
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Scalar draw: same stream bytes and value as ``sample(1, rng)``.
+
+        ``bisect_right`` and ``searchsorted(..., side="right")`` compute
+        the same insertion point.
+        """
+        return self.days[bisect_right(self._cdf, rng.random())]
 
     def mean(self) -> float:
         """Expected day count."""

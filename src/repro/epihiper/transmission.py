@@ -148,6 +148,21 @@ def resolve_backend(
     return TransmissionBackend.DENSE
 
 
+def frontier_workload(inf_state: np.ndarray,
+                      incident: "IncidentEdges") -> float:
+    """Exact frontier gather workload (degree sum) from a boolean mask.
+
+    One dot product over the cached float64 degree column — a few
+    microseconds regardless of prevalence, versus the flatnonzero + CSR
+    offset gather of :meth:`IncidentEdges.degree_sum`, whose cost grows
+    with the infectious count and used to make ``auto`` lose to ``dense``
+    at high prevalence.  Degree sums are integers far below 2**53, so the
+    float result equals ``degree_sum(flatnonzero(inf_state))`` exactly and
+    the ``auto`` decision is unchanged.
+    """
+    return float(np.dot(inf_state, incident.degrees))
+
+
 def _dense_candidates(sus_state, inf_state, edge_source, edge_target,
                       edge_active, edge_weight, edge_duration_min):
     """Candidate contacts by scanning every edge (both directions)."""
@@ -161,6 +176,97 @@ def _dense_candidates(sus_state, inf_state, edge_source, edge_target,
     inf_ids = np.concatenate([src[fwd], tgt[bwd]])
     dur = np.concatenate([edge_duration_min[fwd], edge_duration_min[bwd]])
     w = np.concatenate([edge_weight[fwd], edge_weight[bwd]])
+    return sus_ids, inf_ids, dur, w
+
+
+def dense_candidate_tables(edge_source, edge_target, edge_duration_min):
+    """Static doubled-edge lookups for :func:`batched_dense_candidates`.
+
+    Column ``c`` of the doubled layout is the forward direction of edge
+    ``c`` for ``c < E`` and the backward direction of edge ``c - E``
+    otherwise; the returned ``(inf_of, sus_of, dur_of)`` map a doubled
+    column straight to its infectious endpoint, susceptible endpoint, and
+    contact duration.  Build once per network and reuse every tick.
+    """
+    inf_of = np.concatenate([edge_source, edge_target])
+    sus_of = np.concatenate([edge_target, edge_source])
+    dur_of = np.concatenate([edge_duration_min, edge_duration_min])
+    return inf_of, sus_of, dur_of
+
+
+def batched_dense_candidates(sus_stack, inf_stack, edge_source, edge_target,
+                             active_stack, weight_stack, edge_duration_min,
+                             tables=None, scratch=None):
+    """Dense candidates of ``K`` stacked replicate lanes, in flat form.
+
+    ``sus_stack`` / ``inf_stack`` are ``(K, N)`` boolean state masks,
+    ``active_stack`` is the ``(K, E)`` per-lane effective edge activity,
+    and ``weight_stack`` the ``(K, E)`` per-lane (possibly NPI-modified)
+    weight columns.  Both contact directions are evaluated in one
+    ``(K, 2E)`` scan over the doubled-edge layout (forward columns then
+    backward columns); ``np.flatnonzero`` over it is row-major, so each
+    lane's candidates come out forward-then-backward in ascending edge
+    order — exactly the enumeration :func:`_dense_candidates` produces —
+    and the per-lane segments are bit-identical to K solo calls.
+
+    Args:
+        tables: optional precomputed :func:`dense_candidate_tables`.
+        scratch: optional ``(2, K, 2E)`` boolean scratch reused across
+            ticks.
+
+    Returns:
+        ``(sus_ids, inf_ids, dur, w, counts)``: lane-local person ids and
+        per-contact columns concatenated lane by lane, plus the ``(K,)``
+        per-lane candidate counts.
+    """
+    n_lanes = sus_stack.shape[0]
+    n_edges = edge_source.shape[0]
+    if tables is None:
+        tables = dense_candidate_tables(
+            edge_source, edge_target, edge_duration_min)
+    inf_of, sus_of, dur_of = tables
+    if scratch is None:
+        scratch = np.empty((2, n_lanes, 2 * n_edges), dtype=bool)
+    cand, other = scratch[0], scratch[1]
+    np.take(inf_stack, inf_of, axis=1, out=cand)
+    np.take(sus_stack, sus_of, axis=1, out=other)
+    cand &= other
+    cand[:, :n_edges] &= active_stack
+    cand[:, n_edges:] &= active_stack
+
+    flat = np.flatnonzero(cand)
+    # Per-lane counts from the sorted flat indices (row k occupies
+    # [k*2E, (k+1)*2E)) — a log-time search instead of a (K, 2E) sum.
+    bounds = np.searchsorted(flat, np.arange(1, n_lanes + 1) * (2 * n_edges))
+    counts = np.diff(bounds, prepend=0)
+    lane = np.repeat(np.arange(n_lanes, dtype=np.int64), counts)
+    col = flat - lane * (2 * n_edges)
+    sus_ids = sus_of[col]
+    inf_ids = inf_of[col]
+    dur = dur_of[col]
+    edge = np.where(col < n_edges, col, col - n_edges)
+    w = weight_stack.reshape(-1)[lane * n_edges + edge]
+    return sus_ids, inf_ids, dur, w, counts
+
+
+def _frontier_candidates_from_rows(model, health, inf_state, rows,
+                                   edge_source, edge_target, edge_active,
+                                   edge_weight, edge_duration_min):
+    """Frontier candidate evaluation over pre-gathered unique-sorted rows."""
+    src = edge_source[rows]
+    tgt = edge_target[rows]
+    act = edge_active[rows]
+    sus_of = model.is_susceptible
+    fwd = act & inf_state[src] & sus_of[health[tgt]]
+    bwd = act & inf_state[tgt] & sus_of[health[src]]
+
+    sus_ids = np.concatenate([tgt[fwd], src[bwd]])
+    if sus_ids.size == 0:
+        return None
+    inf_ids = np.concatenate([src[fwd], tgt[bwd]])
+    frows, brows = rows[fwd], rows[bwd]
+    dur = np.concatenate([edge_duration_min[frows], edge_duration_min[brows]])
+    w = np.concatenate([edge_weight[frows], edge_weight[brows]])
     return sus_ids, inf_ids, dur, w
 
 
@@ -179,22 +285,9 @@ def _frontier_candidates(model, health, inf_state, infectious_pids, incident,
     if rows.size == 0:
         return None
     rows = _unique_sorted(rows)
-
-    src = edge_source[rows]
-    tgt = edge_target[rows]
-    act = edge_active[rows]
-    sus_of = model.is_susceptible
-    fwd = act & inf_state[src] & sus_of[health[tgt]]
-    bwd = act & inf_state[tgt] & sus_of[health[src]]
-
-    sus_ids = np.concatenate([tgt[fwd], src[bwd]])
-    if sus_ids.size == 0:
-        return None
-    inf_ids = np.concatenate([src[fwd], tgt[bwd]])
-    frows, brows = rows[fwd], rows[bwd]
-    dur = np.concatenate([edge_duration_min[frows], edge_duration_min[brows]])
-    w = np.concatenate([edge_weight[frows], edge_weight[brows]])
-    return sus_ids, inf_ids, dur, w
+    return _frontier_candidates_from_rows(
+        model, health, inf_state, rows, edge_source, edge_target,
+        edge_active, edge_weight, edge_duration_min)
 
 
 def _sample_transmissions(model, health, node_susceptibility,
@@ -268,16 +361,32 @@ def transmission_step(
     inf_state = model.is_infectious[health]
 
     backend = TransmissionBackend.coerce(backend)
-    if backend is not TransmissionBackend.DENSE:
-        infectious_pids = np.flatnonzero(inf_state)
-        backend = resolve_backend(
-            backend, incident, infectious_pids, edge_source.shape[0])
+    if backend is TransmissionBackend.AUTO:
+        # Resolve from the boolean mask alone — the flatnonzero is deferred
+        # until (and unless) the frontier kernel is chosen, so a dense tick
+        # at high prevalence no longer pays an O(infectious) index build
+        # just to discover it didn't need one.
+        if incident is None:
+            backend = TransmissionBackend.DENSE
+        else:
+            threshold = FRONTIER_DENSE_CROSSOVER * edge_source.shape[0]
+            n_inf = np.count_nonzero(inf_state)
+            if n_inf * incident.max_degree <= threshold:
+                # The workload upper bound is already below the crossover,
+                # so one popcount settles the tick — the early-epidemic
+                # common case never touches the degree column.
+                backend = TransmissionBackend.FRONTIER
+            else:
+                gathered = frontier_workload(inf_state, incident)
+                backend = (
+                    TransmissionBackend.FRONTIER if gathered <= threshold
+                    else TransmissionBackend.DENSE)
     if backend is TransmissionBackend.FRONTIER:
         if incident is None:
             raise ValueError(
                 "frontier backend requires an IncidentEdges index")
         cand = _frontier_candidates(
-            model, health, inf_state, infectious_pids, incident,
+            model, health, inf_state, np.flatnonzero(inf_state), incident,
             edge_source, edge_target, edge_active, edge_weight,
             edge_duration_min)
     else:

@@ -96,6 +96,19 @@ class MetricsRegistry:
         m.count += 1
         return m.value
 
+    def observe_n(self, name: str, seconds: float, n: int) -> float:
+        """Accumulate ``n`` observations totalling ``seconds`` in one call.
+
+        For drivers that time shared work under one clock and apportion
+        it afterwards (the batched engine times K lanes per phase and
+        credits each lane ``total / K`` across its ticks at flush) —
+        keeps per-observation counts honest without per-tick overhead.
+        """
+        m = self._declare(name, TIMER)
+        m.value = float(m.value) + float(seconds)
+        m.count += int(n)
+        return m.value
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         """Time a block on the monotonic clock and :meth:`observe` it.

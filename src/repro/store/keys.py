@@ -35,6 +35,7 @@ SPEED_ONLY_PARAMS: frozenset[str] = frozenset({"backend", "BACKEND"})
 SALT_MODULES: tuple[str, ...] = (
     "repro.analytics.aggregate",
     "repro.core.runner",
+    "repro.epihiper.batch",
     "repro.epihiper.covid",
     "repro.epihiper.disease",
     "repro.epihiper.engine",

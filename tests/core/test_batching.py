@@ -1,0 +1,252 @@
+"""Replicate-batching policy and its fan-out integration.
+
+Covers the grouping layer (:mod:`repro.core.batching`), the batched route
+through :func:`~repro.core.parallel.supervise_instances` (bit-identical to
+the solo path, evict-on-fault semantics, per-instance quarantine), the
+store integration (per-replicate cache keys), and the supervisor's
+continued-attempt plumbing that keeps eviction retries accountable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import (
+    MAX_BATCH_LANES,
+    batch_groups,
+    batching_enabled,
+    group_key,
+    max_batch_lanes,
+)
+from repro.core.parallel import (
+    InstanceSpec,
+    run_instances,
+    supervise_instances,
+)
+from repro.obs import MetricsRegistry
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience.supervisor import supervise_map
+from repro.store.cas import ContentStore
+from repro.store.keys import instance_key
+from repro.store.memo import run_instances_memoized
+
+pytestmark = pytest.mark.fast
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+
+
+def make_specs(n=4, region="VT", n_days=12, tau=0.3, seed0=100,
+               asset_seed=0):
+    return [
+        InstanceSpec(region_code=region, params={"TAU": tau},
+                     n_days=n_days, scale=1e-3, seed=seed0 + 17 * i,
+                     label=f"{region}-i{i}", asset_seed=asset_seed)
+        for i in range(n)
+    ]
+
+
+# ---- grouping policy -------------------------------------------------------
+
+
+def test_group_key_ignores_seed_params_label():
+    a, b = make_specs(2)
+    assert a.seed != b.seed and a.label != b.label
+    assert group_key(a) == group_key(b)
+    hot = InstanceSpec(region_code="VT", params={"TAU": 0.9, "SYMP": 0.5},
+                       n_days=12, scale=1e-3, seed=1, asset_seed=0)
+    assert group_key(hot) == group_key(a)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("region_code", "RI"),
+    ("scale", 2e-3),
+    ("asset_seed", 7),
+    ("n_days", 13),
+])
+def test_group_key_separates_asset_fields(field, value):
+    base = make_specs(1)[0]
+    other = InstanceSpec(**{**{
+        "region_code": base.region_code, "params": base.params,
+        "n_days": base.n_days, "scale": base.scale, "seed": base.seed + 1,
+        "asset_seed": base.asset_seed}, field: value})
+    assert group_key(base) != group_key(other)
+
+
+def test_batch_groups_order_and_membership():
+    vt = make_specs(3, region="VT")
+    ri = make_specs(2, region="RI")
+    specs = [vt[0], ri[0], vt[1], ri[1], vt[2]]  # interleaved
+    groups = batch_groups(specs)
+    # First-occurrence key order, input order within a group.
+    assert groups == [[0, 2, 4], [1, 3]]
+    covered = sorted(i for g in groups for i in g)
+    assert covered == list(range(len(specs)))
+
+
+def test_batch_groups_cap_split():
+    specs = make_specs(7)
+    groups = batch_groups(specs, max_lanes=3)
+    assert groups == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+def test_batching_env_knobs(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_REPLICATES", raising=False)
+    assert batching_enabled()
+    for token in ("0", "false", "OFF", " no "):
+        monkeypatch.setenv("REPRO_BATCH_REPLICATES", token)
+        assert not batching_enabled()
+    monkeypatch.setenv("REPRO_BATCH_REPLICATES", "1")
+    assert batching_enabled()
+
+    monkeypatch.delenv("REPRO_MAX_BATCH_LANES", raising=False)
+    assert max_batch_lanes() == MAX_BATCH_LANES
+    monkeypatch.setenv("REPRO_MAX_BATCH_LANES", "8")
+    assert max_batch_lanes() == 8
+    monkeypatch.setenv("REPRO_MAX_BATCH_LANES", "batchy")
+    with pytest.raises(ValueError, match="integer"):
+        max_batch_lanes()
+    monkeypatch.setenv("REPRO_MAX_BATCH_LANES", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        max_batch_lanes()
+
+
+# ---- batched fan-out: equivalence and telemetry ----------------------------
+
+
+def test_batched_run_instances_matches_unbatched(monkeypatch):
+    """The batched route returns byte-identical outcomes to the solo path."""
+    specs = make_specs(5) + make_specs(2, region="RI", seed0=900)
+    reg_on = MetricsRegistry()
+    batched = run_instances(specs, parallel=False, registry=reg_on)
+
+    monkeypatch.setenv("REPRO_BATCH_REPLICATES", "0")
+    reg_off = MetricsRegistry()
+    solo = run_instances(specs, parallel=False, registry=reg_off)
+
+    for b, s in zip(batched, solo):
+        assert b.spec == s.spec
+        np.testing.assert_array_equal(b.confirmed, s.confirmed)
+        assert b.attack_rate == s.attack_rate
+        assert b.transitions == s.transitions
+
+    on = reg_on.snapshot()
+    assert on["batch.groups"] == 2  # VT x5 and RI x2
+    assert on["batch.size"] >= 2
+    assert on["runner.instances"] == len(specs)
+    assert "batch.size" not in reg_off.snapshot()
+    assert reg_off.snapshot()["runner.instances"] == len(specs)
+
+
+def test_batched_pooled_matches_serial():
+    specs = make_specs(4)
+    serial = run_instances(specs, parallel=False)
+    pooled = run_instances(specs, parallel=True, max_workers=2)
+    for s, p in zip(serial, pooled):
+        np.testing.assert_array_equal(s.confirmed, p.confirmed)
+        assert s.attack_rate == p.attack_rate
+
+
+def test_eviction_quarantines_spec_not_group():
+    """A poisoned replicate is evicted from its batch; partners survive."""
+    plan = FaultPlan.parse(["worker.exception:match=i1"], seed=0)  # always
+    reg = MetricsRegistry()
+    specs = make_specs(3)
+    res = supervise_instances(specs, parallel=False, retry=FAST_RETRY,
+                              faults=plan, registry=reg)
+
+    assert not res.ok
+    assert [r is None for r in res.results] == [False, True, False]
+    (q,) = res.quarantined
+    # Attempt accounting matches the unbatched path exactly: the batch
+    # eviction is attempt 1, the solo retry attempt 2.
+    assert q.key == "VT-i1" and q.kind == "transient" and q.attempts == 2
+    snap = reg.snapshot()
+    assert snap["faults.worker.exception"] == 2
+    assert snap["retry.retries"] == 1
+    assert snap["batch.groups"] == 1
+
+    # Surviving lanes are bit-identical to a clean run.
+    clean = run_instances(specs, parallel=False)
+    for i in (0, 2):
+        np.testing.assert_array_equal(res.results[i].confirmed,
+                                      clean[i].confirmed)
+
+
+def test_evicted_transient_recovers_bit_identical():
+    """A fail-once spec is evicted, retried solo, and fully recovers."""
+    plan = FaultPlan.parse(["worker.exception:match=i2,times=1"], seed=0)
+    reg = MetricsRegistry()
+    specs = make_specs(4)
+    res = supervise_instances(specs, parallel=False, retry=FAST_RETRY,
+                              faults=plan, registry=reg)
+
+    assert res.ok and not res.quarantined
+    assert res.retries >= 1
+    clean = run_instances(specs, parallel=False)
+    for got, want in zip(res.results, clean):
+        np.testing.assert_array_equal(got.confirmed, want.confirmed)
+
+
+def test_memoized_batches_land_under_individual_keys(tmp_path):
+    """One batched execution, K cache entries — then K pure hits."""
+    specs = make_specs(4)
+    keys = {instance_key(s) for s in specs}
+    assert len(keys) == len(specs)  # per-replicate keys stay distinct
+
+    store = ContentStore(tmp_path / "store")
+    reg_cold = MetricsRegistry()
+    cold = run_instances_memoized(specs, store=store, parallel=False,
+                                  registry=reg_cold)
+    snap_cold = reg_cold.snapshot()
+    assert snap_cold["memo.misses"] == 4 and snap_cold["memo.hits"] == 0
+    assert snap_cold["batch.groups"] == 1
+
+    reg_warm = MetricsRegistry()
+    warm = run_instances_memoized(specs, store=store, parallel=False,
+                                  registry=reg_warm)
+    snap_warm = reg_warm.snapshot()
+    assert snap_warm["memo.hits"] == 4 and snap_warm["memo.misses"] == 0
+    for c, w in zip(cold, warm):
+        np.testing.assert_array_equal(c.confirmed, w.confirmed)
+        assert c.attack_rate == w.attack_rate
+
+
+def test_batching_disabled_env_skips_grouping(monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_REPLICATES", "off")
+    reg = MetricsRegistry()
+    res = supervise_instances(make_specs(3), parallel=False, registry=reg)
+    assert res.ok
+    snap = reg.snapshot()
+    assert "batch.groups" not in snap and "batch.size" not in snap
+
+
+# ---- supervisor plumbing the eviction retries ride on ----------------------
+
+
+def test_supervise_map_start_attempts_and_prior_failures():
+    """Continued items start at the given attempt with failures charged."""
+    seen: list[int] = []
+
+    def fn(item, attempt, _faults):
+        seen.append(attempt)
+        if item == "flaky" and attempt < 2:
+            raise TimeoutError("transient")
+        return item
+
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+    res = supervise_map(fn, ["flaky"], keys=["flaky"], retry=policy,
+                        start_attempts=[1], prior_failures=[1],
+                        registry=MetricsRegistry())
+    assert res.ok and res.results == ["flaky"]
+    assert seen == [1, 2]  # resumed mid-sequence, not from attempt 0
+
+    # With the budget already spent, the continued item quarantines at
+    # its recorded cumulative attempt count.
+    seen.clear()
+    res = supervise_map(fn, ["flaky"], keys=["flaky"],
+                        retry=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                                          jitter=0.0),
+                        start_attempts=[1], prior_failures=[1],
+                        registry=MetricsRegistry())
+    assert not res.ok
+    (q,) = res.quarantined
+    assert q.attempts == 2 and seen == [1]

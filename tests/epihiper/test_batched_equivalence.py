@@ -1,0 +1,206 @@
+"""Batched-vs-serial equivalence: bit-identical, not statistical.
+
+The batched kernel's contract is that a replicate advanced alongside K-1
+others emits *exactly* the bytes it emits alone — same transition log, same
+census trajectory, same work counters — because each lane keeps its own
+Philox stream and every phase consumes it in solo order.  These tests pin
+that contract across backends, batch widths, heterogeneous seeds and cell
+parameters, and mid-run intervention triggers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epihiper import Simulation, uniform_seeds
+from repro.epihiper.batch import BatchIncompatible, BatchedSimulation
+from repro.epihiper.covid import build_covid_model_with_symp_fraction
+from repro.epihiper.npi import make_sc, make_sh, make_vhi
+from repro.obs.registry import MetricsRegistry
+
+pytestmark = pytest.mark.fast
+
+N_DAYS = 30
+
+#: Work counters that must match a solo run exactly (not just the output
+#: rows): candidate enumeration, sampling, and phase bookkeeping agree.
+EXACT_COUNTERS = ("contacts_evaluated", "transmissions", "transitions")
+
+
+def make_lane(pop, net, *, seed, backend="auto", tau=0.35, symp=0.65,
+              interventions=None, n_seeds=8):
+    """One deterministic, seeded, not-yet-run replicate lane."""
+    model = build_covid_model_with_symp_fraction(tau, symp)
+    if interventions is None:
+        interventions = [make_sc(start=5), make_vhi(0.6),
+                         make_sh(0.5, start=8, end=20)]
+    sim = Simulation(model, pop, net, seed=seed,
+                     interventions=interventions, backend=backend)
+    sim.seed_infections(uniform_seeds(pop, n_seeds, sim.rng))
+    return sim, model
+
+
+def assert_result_identical(solo, batched, label=""):
+    np.testing.assert_array_equal(
+        solo.state_counts, batched.state_counts,
+        err_msg=f"{label} state census diverged")
+    np.testing.assert_array_equal(
+        solo.memory_series, batched.memory_series,
+        err_msg=f"{label} memory series diverged")
+    for field in ("tick", "pid", "state", "infector"):
+        np.testing.assert_array_equal(
+            getattr(solo.log, field), getattr(batched.log, field),
+            err_msg=f"{label} log.{field} diverged")
+    s_counters, b_counters = solo.counters, batched.counters
+    for key in EXACT_COUNTERS:
+        assert s_counters[key] == b_counters[key], (
+            f"{label} counter {key}: solo {s_counters[key]} "
+            f"!= batched {b_counters[key]}")
+
+
+@pytest.mark.parametrize("backend", ["dense", "frontier", "auto"])
+@pytest.mark.parametrize("k", [1, 2, 16])
+def test_batched_matches_serial_bitwise(vt_assets, backend, k):
+    """K lanes, heterogeneous seeds, one backend: every lane solo-exact."""
+    pop, net = vt_assets
+    seeds = [1000 + 7 * i for i in range(k)]
+
+    solo_results = []
+    for seed in seeds:
+        sim, _ = make_lane(pop, net, seed=seed, backend=backend)
+        solo_results.append(sim.run(N_DAYS))
+
+    lanes = [make_lane(pop, net, seed=seed, backend=backend)[0]
+             for seed in seeds]
+    batch = BatchedSimulation(lanes, metrics=MetricsRegistry())
+    batched_results = batch.run(N_DAYS)
+
+    assert len(batched_results) == k
+    for i, (solo, batched) in enumerate(zip(solo_results, batched_results)):
+        assert_result_identical(solo, batched,
+                                label=f"{backend} lane {i} seed {seeds[i]}")
+
+
+def test_batched_heterogeneous_cells_and_backends(vt_assets):
+    """Mixed TAU/SYMP cells and mixed backends in one batch stay exact.
+
+    This is the calibration-sweep shape: lanes differ in model parameters
+    (so the shared-propensity fast path must detach cleanly) and in
+    backend choice (so per-lane frontier gathers coexist with the stacked
+    dense scan in the same tick).
+    """
+    pop, net = vt_assets
+    cells = [
+        dict(seed=11, backend="dense", tau=0.30, symp=0.65),
+        dict(seed=22, backend="frontier", tau=0.45, symp=0.65),
+        dict(seed=33, backend="auto", tau=0.30, symp=0.80),
+        dict(seed=44, backend="auto", tau=0.60, symp=0.50),
+    ]
+    solo_results = [make_lane(pop, net, **c)[0].run(N_DAYS) for c in cells]
+    batch = BatchedSimulation([make_lane(pop, net, **c)[0] for c in cells])
+    for i, (solo, batched) in enumerate(zip(solo_results,
+                                            batch.run(N_DAYS))):
+        assert_result_identical(solo, batched, label=f"cell {i}")
+
+
+def test_batched_mid_run_intervention_triggers(vt_assets):
+    """Interventions firing mid-run (SC/SH start, SH end, VHI) stay exact.
+
+    The trigger days straddle the run so every lane crosses activation and
+    expiry boundaries inside the batched tick loop; compliance draws and
+    edge-suppression updates must consume each lane's stream in solo
+    order.
+    """
+    pop, net = vt_assets
+    # Interventions hold closure state (suppression handles), so each run
+    # gets a freshly built stack.
+    stacks = [
+        lambda: [make_sc(start=3), make_sh(0.7, start=6, end=12)],
+        lambda: [make_vhi(0.8)],
+        lambda: [make_sc(start=10), make_vhi(0.4),
+                 make_sh(0.3, start=12, end=25)],
+    ]
+    seeds = [5, 6, 7]
+    solo_results = [
+        make_lane(pop, net, seed=s, interventions=build())[0].run(N_DAYS)
+        for s, build in zip(seeds, stacks)]
+    batch = BatchedSimulation([
+        make_lane(pop, net, seed=s, interventions=build())[0]
+        for s, build in zip(seeds, stacks)])
+    for i, (solo, batched) in enumerate(zip(solo_results,
+                                            batch.run(N_DAYS))):
+        assert_result_identical(solo, batched, label=f"stack {i}")
+
+
+def test_batched_join_mid_run(vt_assets):
+    """Lanes already advanced to the same tick can batch and stay exact."""
+    pop, net = vt_assets
+    seeds = [71, 72]
+    solo_results = []
+    for seed in seeds:
+        sim, _ = make_lane(pop, net, seed=seed)
+        solo_results.append(sim.run(N_DAYS))
+
+    lanes = [make_lane(pop, net, seed=seed)[0] for seed in seeds]
+    for sim in lanes:
+        sim.run(10)  # advance solo first
+    batch = BatchedSimulation(lanes)
+    tail = batch.run(N_DAYS - 10)
+    for i, (solo, batched) in enumerate(zip(solo_results, tail)):
+        # Lane results carry the whole run history (solo prefix included),
+        # so the batched-tail result must equal the all-solo run exactly.
+        assert_result_identical(solo, batched, label=f"joined lane {i}")
+
+
+def test_batched_rejects_incompatible_lanes(vt_assets, va_assets):
+    pop, net = vt_assets
+    va_pop, va_net = va_assets
+    a, _ = make_lane(pop, net, seed=1)
+    b, _ = make_lane(va_pop, va_net, seed=2)
+    with pytest.raises(BatchIncompatible, match="share population"):
+        BatchedSimulation([a, b])
+    c, _ = make_lane(pop, net, seed=3)
+    c.run(1)
+    d, _ = make_lane(pop, net, seed=4)
+    with pytest.raises(BatchIncompatible, match="same tick"):
+        BatchedSimulation([c, d])
+    with pytest.raises(BatchIncompatible, match="at least one lane"):
+        BatchedSimulation([])
+
+
+def test_batch_metrics_surface(vt_assets):
+    """batch.size gauge and phase timers land in the registry."""
+    pop, net = vt_assets
+    reg = MetricsRegistry()
+    lanes = [make_lane(pop, net, seed=s)[0] for s in (1, 2, 3)]
+    BatchedSimulation(lanes, metrics=reg).run(5)
+    dump = reg.snapshot()
+    assert dump["batch.size"] == 3
+    timer_keys = [k for k in dump if k.startswith("batch.")
+                  and k.endswith("_s")]
+    assert timer_keys, f"no batch phase timers in {sorted(dump)}"
+
+
+def test_batch_apportions_engine_phase_timers(vt_assets):
+    """Lanes keep a live Fig. 7 breakdown: each gets ``total / K`` of a
+    batch phase clock, observed once per tick, so ``trace summarize``
+    sees nonzero phases and honest tick counts after batched runs."""
+    pop, net = vt_assets
+    reg = MetricsRegistry()
+    lanes = [make_lane(pop, net, seed=s)[0] for s in (1, 2, 3)]
+    batch = BatchedSimulation(lanes, metrics=reg)
+    results = batch.run(7)
+    for phase in ("interventions_s", "transmission_s", "progression_s"):
+        batch_total = reg.value(f"batch.{phase}")
+        assert batch_total > 0.0
+        lane_values = [r.metrics.value(f"engine.{phase}") for r in results]
+        assert sum(lane_values) == pytest.approx(batch_total, rel=1e-9)
+        for r in results:
+            assert r.metrics.count(f"engine.{phase}") == 7
+    # A second run on the same batch extends, never double-credits.
+    more = batch.run(3)
+    assert more[0].metrics.count("engine.transmission_s") == 10
+    assert sum(r.metrics.value("engine.transmission_s")
+               for r in more) == pytest.approx(
+                   reg.value("batch.transmission_s"), rel=1e-9)

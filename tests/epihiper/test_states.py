@@ -10,6 +10,15 @@ from repro.epihiper.states import (
     FixedDwell,
     HealthState,
     NormalDwell,
+    inverse_normal_cdf,
+    inverse_normal_cdf_scalar,
+)
+
+ALL_DWELLS = (
+    FixedDwell(3),
+    NormalDwell(4.5, 1.5),
+    NormalDwell(2.0, 0.0),
+    DiscreteDwell((1, 3, 7), (0.2, 0.5, 0.3)),
 )
 
 
@@ -77,3 +86,81 @@ def test_table_iii_sympt_attd_distribution():
     assert d.days == tuple(range(1, 11))
     assert abs(sum(d.probs) - 1.0) < 1e-12
     assert d.probs[0] == d.probs[1] == 0.175
+
+
+# ---- one-uniform-per-draw stream contract ----------------------------------
+#
+# The batched multi-replicate driver pre-draws one uniform block per lane
+# and evaluates every dwell family over cross-lane concatenations.  That is
+# only bit-identical to solo runs if (a) every family consumes exactly one
+# uniform per draw, (b) the value map is elementwise (position- and
+# size-independent), and (c) the scalar fast paths are exact twins of the
+# array paths.  These tests pin all three.
+
+
+def test_inverse_normal_cdf_scalar_matches_array_bitwise():
+    rng = np.random.default_rng(31)
+    u = np.concatenate([
+        rng.random(2000),
+        np.array([0.0, 1e-320, 1e-300, 1e-12, 0.074, 0.075, 0.076,
+                  0.425, 0.5, 0.575, 0.924, 0.925, 0.926,
+                  1.0 - 1e-12, 1.0 - 1e-16]),
+    ])
+    vec = inverse_normal_cdf(u)
+    scal = np.array([inverse_normal_cdf_scalar(v) for v in u.tolist()])
+    np.testing.assert_array_equal(vec, scal)  # bitwise, not approx
+    assert np.isfinite(vec).all()  # u == 0 clamps instead of -inf
+
+
+def test_inverse_normal_cdf_is_the_normal_quantile():
+    from math import erf, sqrt
+
+    u = np.linspace(0.001, 0.999, 199)
+    x = inverse_normal_cdf(u)
+    cdf = 0.5 * (1.0 + np.array([erf(v / sqrt(2.0)) for v in x]))
+    np.testing.assert_allclose(cdf, u, atol=1e-12)
+
+
+@pytest.mark.parametrize("dwell", ALL_DWELLS, ids=lambda d: d.kind)
+def test_one_uniform_per_draw(dwell):
+    """``sample(n)`` leaves the generator exactly where ``random(n)`` does."""
+    for n in (1, 5, 24, 25, 200):
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        dwell.sample(n, a)
+        b.random(n)
+        assert a.bit_generator.state == b.bit_generator.state, n
+
+
+@pytest.mark.parametrize("dwell", ALL_DWELLS, ids=lambda d: d.kind)
+def test_values_from_uniforms_is_elementwise(dwell):
+    """Concatenation invariance: the property batch scheduling relies on."""
+    rng = np.random.default_rng(13)
+    blocks = [rng.random(n) for n in (3, 24, 25, 111)]
+    per_block = np.concatenate(
+        [dwell.values_from_uniforms(b) for b in blocks])
+    at_once = dwell.values_from_uniforms(np.concatenate(blocks))
+    np.testing.assert_array_equal(per_block, at_once)
+    assert at_once.dtype == np.int32 and (at_once >= 1).all()
+
+
+@pytest.mark.parametrize("dwell", ALL_DWELLS, ids=lambda d: d.kind)
+def test_sample_one_matches_sample_of_one(dwell):
+    """Same value AND same stream bytes as the size-1 array draw."""
+    for seed in range(20):
+        a = np.random.default_rng(seed)
+        b = np.random.default_rng(seed)
+        one = dwell.sample_one(a)
+        arr = dwell.sample(1, b)
+        assert isinstance(one, int)
+        assert one == int(arr[0])
+        assert a.bit_generator.state == b.bit_generator.state
+
+
+def test_sample_equals_values_from_uniforms():
+    """``sample`` is exactly ``values_from_uniforms(rng.random(n))``."""
+    for dwell in ALL_DWELLS:
+        a = np.random.default_rng(99)
+        b = np.random.default_rng(99)
+        np.testing.assert_array_equal(
+            dwell.sample(50, a), dwell.values_from_uniforms(b.random(50)))

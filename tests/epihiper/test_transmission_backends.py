@@ -22,6 +22,7 @@ from repro.epihiper.npi import make_sh, make_vhi
 from repro.epihiper.states import FixedDwell, HealthState
 from repro.epihiper.transmission import (
     FRONTIER_DENSE_CROSSOVER,
+    frontier_workload,
     resolve_backend,
     transmission_step,
 )
@@ -167,6 +168,31 @@ def test_auto_switches_backend_as_prevalence_grows():
         TransmissionBackend.FRONTIER
     assert resolve_backend("auto", None, few, n_edges) is \
         TransmissionBackend.DENSE
+
+
+def test_auto_workload_bound_is_conservative():
+    """The popcount * max_degree shortcut never flips the auto decision.
+
+    ``transmission_step`` resolves ``auto`` through an upper bound first —
+    infectious count times the cached max degree — and only falls back to
+    the exact degree-sum dot product past the crossover.  Whenever the
+    bound clears the threshold the exact workload must too, so the
+    shortcut always picks the backend the exact comparison would.
+    """
+    setup = np.random.default_rng(23)
+    n_nodes, n_edges = 500, 3000
+    src, tgt, _dur, _w = random_network(n_nodes, n_edges, setup)
+    inc = IncidentEdges(src, tgt, n_nodes)
+    assert inc.max_degree == float(inc.degrees.max())
+    threshold = FRONTIER_DENSE_CROSSOVER * n_edges
+    for prevalence in (0.0, 0.005, 0.05, 0.3, 0.8):
+        mask = setup.random(n_nodes) < prevalence
+        k = int(np.count_nonzero(mask))
+        exact = float(inc.degree_sum(np.flatnonzero(mask)))
+        # The dot-product estimator is exact, not approximate.
+        assert exact == frontier_workload(mask, inc)
+        if k * inc.max_degree <= threshold:
+            assert exact <= threshold
 
 
 def test_simulation_trajectories_identical_across_backends(vt_assets,
