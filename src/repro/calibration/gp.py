@@ -115,18 +115,30 @@ def _neg_log_marginal(
 def fit_gp(
     x: np.ndarray,
     y: np.ndarray,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None = None,
     *,
+    seed: int | None = None,
     n_restarts: int = 3,
 ) -> GPEmulator:
     """Fit a :class:`GPEmulator` by regularised maximum marginal likelihood.
 
+    The only randomness is the multi-start initialisation, and it is
+    fully determined by the caller: pass either an explicit ``rng`` or a
+    ``seed`` (two fits with the same seed produce identical kernels).
+
     Args:
         x: ``(n, d)`` unit-cube inputs.
         y: ``(n,)`` coefficient values.
-        rng: used for multi-start initialisation.
+        rng: used for multi-start initialisation; mutually exclusive
+            with ``seed``.
+        seed: convenience alternative to ``rng`` — the fit draws its
+            restarts from ``np.random.default_rng(seed)``.
         n_restarts: optimizer restarts (keeps the best optimum).
     """
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = np.random.default_rng(0 if seed is None else seed)
     x = np.atleast_2d(np.asarray(x, dtype=np.float64))
     y = np.asarray(y, dtype=np.float64).ravel()
     if x.shape[0] != y.shape[0]:

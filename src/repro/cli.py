@@ -12,11 +12,16 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro chaos run VA --inject worker.crash:times=1   # fault drill
     repro serve --port 8377                   # always-on scenario service
     repro submit VT --tau 0.22 --days 60      # ask the running service
+    repro surrogate train                     # fit the emulator fast path
 
 ``serve`` runs the scenario service plane: a bounded priority queue with
 request coalescing (identical scenarios share one computation) in front
 of the supervised, store-memoized fan-out, behind a JSON HTTP API.
-``submit`` is its client.  Commands that can lose work to faults —
+``submit`` is its client.  ``serve --surrogate`` puts the trained
+emulator (``repro surrogate train``) in front of the queue: confident
+repeat-family scenarios are answered immediately with uncertainty bands
+(``source: "surrogate"``), everything else runs exactly and feeds the
+next retrain.  Commands that can lose work to faults —
 ``simulate --inject``, ``night`` when transfers exhaust retries,
 ``chaos run``, ``submit`` whose request fails — exit with code 4
 (quarantined) so schedulers can tell partial loss from hard failure.
@@ -520,6 +525,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
              else default_store())
     if args.action == "stats":
         print(store.summary())
+        families = store.family_counts()
+        if families:
+            print("families:")
+            for family, count in families.items():
+                print(f"  {family:<24} {count} blobs")
     elif args.action == "gc":
         evicted = store.gc(args.max_bytes)
         print(f"evicted {len(evicted)} blobs, "
@@ -527,6 +537,96 @@ def _cmd_store(args: argparse.Namespace) -> int:
     elif args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} blobs from {store.root}")
+    return 0
+
+
+def _surrogate_store(args: argparse.Namespace):
+    """The store a ``repro surrogate`` action operates on."""
+    from .store import ContentStore, default_store
+
+    return ContentStore(Path(args.dir)) if args.dir else default_store()
+
+
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .surrogate import (
+        ModelRegistry,
+        build_corpus,
+        corpus_ledger_path,
+        train_model,
+    )
+
+    store = _surrogate_store(args)
+    extra = [Path(p) for p in (args.ledger or [])]
+    corpus = build_corpus(store, ledgers=extra)
+    registry = ModelRegistry(store, retrain_after=args.retrain_after)
+
+    if args.action == "stats":
+        info = registry.latest_info()
+        stale = registry.stale(len(corpus))
+        print(f"corpus: {len(corpus)} usable runs "
+              f"(journal {corpus_ledger_path(store)})")
+        if info is None:
+            print("model: none published")
+        else:
+            print(f"model: {info['key'][:12]} trained on "
+                  f"{info['n_train']} runs "
+                  f"(p_eta {info['p_eta']}, seed {info['seed']}, "
+                  f"version {info['version']})")
+        print(f"stale: {'yes — retrain recommended' if stale else 'no'}")
+        return 0
+
+    if args.action == "train":
+        if not args.force and not registry.stale(len(corpus)):
+            info = registry.latest_info()
+            print(f"model {info['key'][:12]} is fresh "
+                  f"({info['n_train']} of {len(corpus)} runs trained; "
+                  f"--force to retrain anyway)")
+            return 0
+        try:
+            model = train_model(corpus, p_eta=args.p_eta, seed=args.seed)
+        except ValueError as exc:
+            print(f"cannot train: {exc}", file=sys.stderr)
+            return 1
+        key = registry.publish(model)
+        print(f"trained on {len(corpus)} runs "
+              f"({model.space.d_active} active features, "
+              f"p_eta {model.basis.p}); published {key[:12]}")
+        return 0
+
+    # eval: hold out every k-th run, retrain on the rest, score honestly.
+    n = len(corpus)
+    test_idx = np.arange(0, n, args.every)
+    train_idx = np.setdiff1d(np.arange(n), test_idx)
+    if len(train_idx) < 3 or len(test_idx) == 0:
+        print(f"cannot eval: corpus of {n} runs is too small to split "
+              f"(need >= 4 with --every {args.every})", file=sys.stderr)
+        return 1
+    try:
+        model = train_model(corpus.subset(train_idx), p_eta=args.p_eta,
+                            seed=args.seed)
+    except ValueError as exc:
+        print(f"cannot eval: {exc}", file=sys.stderr)
+        return 1
+    rel_rmse, coverage, ar_err = [], [], []
+    for i in test_idx:
+        pred = model.predict_features(corpus.features[i])
+        truth = corpus.outputs[i]
+        peak = max(float(np.max(np.abs(truth))), 1e-9)
+        rel_rmse.append(
+            float(np.sqrt(np.mean((pred.mean - truth) ** 2))) / peak)
+        lo, hi = pred.bands()
+        coverage.append(float(np.mean((truth >= lo) & (truth <= hi))))
+        ar_err.append(abs(pred.attack_rate - float(corpus.attack_rates[i])))
+    print(f"held-out eval: {len(train_idx)} train / {len(test_idx)} test "
+          f"(every {args.every}th run held out)")
+    print(f"  trajectory rel. RMSE: mean {np.mean(rel_rmse):.3f}, "
+          f"max {np.max(rel_rmse):.3f}")
+    print(f"  ~95% band coverage:  mean {np.mean(coverage):.1%}, "
+          f"min {np.min(coverage):.1%}")
+    print(f"  attack-rate |error|: mean {np.mean(ar_err):.4f}, "
+          f"max {np.max(ar_err):.4f}")
     return 0
 
 
@@ -550,11 +650,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         retry = RetryPolicy(max_attempts=args.max_attempts,
                             base_delay_s=0.05, seed=args.fault_seed)
+    surrogate = None
+    if args.surrogate:
+        if store is None:
+            raise SystemExit(
+                "--surrogate needs the result store (drop --no-cache)")
+        from .surrogate import ModelRegistry, SurrogateGate
+
+        surrogate = SurrogateGate(ModelRegistry(store),
+                                  rtol=args.surrogate_rtol)
     service = ScenarioService(
         store=store, ledger=ledger, tracer=tracer,
         capacity=args.capacity, aging_every=args.aging_every,
         batch_size=args.batch_size, max_workers=args.workers,
-        parallel=not args.serial, retry=retry, faults=faults)
+        parallel=not args.serial, retry=retry, faults=faults,
+        surrogate=surrogate)
     server = make_server(service, host=args.host, port=args.port)
     port = server.server_address[1]
     if args.port_file:
@@ -564,7 +674,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service.start()
     print(f"repro service listening on http://{args.host}:{port} "
           f"(capacity={args.capacity}, batch={args.batch_size}, "
-          f"cache={'on' if store is not None else 'off'})", flush=True)
+          f"cache={'on' if store is not None else 'off'}, "
+          f"surrogate={'on' if surrogate is not None else 'off'})",
+          flush=True)
+    # Backgrounded children of non-interactive shells inherit SIGINT as
+    # ignored, so rely on explicit handlers for graceful drain rather
+    # than Python's default KeyboardInterrupt wiring.
+    import signal
+
+    def _graceful(_sig: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _graceful)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
     with tracer:
         try:
             server.serve_forever()
@@ -620,10 +745,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if view["state"] == "done":
         result = view["result"]
         confirmed = result["confirmed"]
+        source = result.get("source", "exact")
         print(f"{args.region}: attack {float(result['attack_rate']):.1%}, "
               f"confirmed {int(confirmed[-1]):,} "
-              f"({view['total_s']:.2f}s"
+              f"({view['total_s']:.2f}s, {source}"
               + (", coalesced)" if view.get("coalesced") else ")"))
+        if source == "surrogate":
+            lo = result["confirmed_lo"]
+            hi = result["confirmed_hi"]
+            print(f"  ~95% band on final confirmed: "
+                  f"[{int(lo[-1]):,}, {int(hi[-1]):,}] "
+                  f"(rtol {float(result['rtol']):.3f})")
         return 0
     print(f"{view['state']}: {view.get('error', 'no detail')}",
           file=sys.stderr)
@@ -770,6 +902,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject", action="append", metavar="SITE[:k=v,...]",
                    help="service chaos drill: inject worker faults")
     p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--surrogate", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="answer confident repeat-family scenarios from the "
+                        "trained emulator (see 'repro surrogate train'); "
+                        "uncertain or out-of-distribution requests still "
+                        "run exactly")
+    p.add_argument("--surrogate-rtol", type=float, default=0.05,
+                   help="relative-uncertainty gate: serve from the "
+                        "surrogate only when mean predictive sd / peak "
+                        "trajectory is below this (default 0.05)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_serve)
@@ -813,6 +955,37 @@ def build_parser() -> argparse.ArgumentParser:
                          "command wrote)")
     sp.add_argument("-o", "--output", help="write JSON here, not stdout")
     sp.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "surrogate",
+        help="train, inspect or evaluate the scenario emulator")
+    usub = p.add_subparsers(dest="action", required=True)
+    for action, desc in (
+            ("train", "fit + publish a model over the run corpus"),
+            ("stats", "corpus size, latest model, staleness"),
+            ("eval", "held-out accuracy of a freshly trained model")):
+        sp = usub.add_parser(action, help=desc)
+        sp.add_argument("--dir", metavar="DIR",
+                        help="store directory (default REPRO_STORE_DIR "
+                             "or ~/.cache/repro/store)")
+        sp.add_argument("--ledger", action="append", metavar="PATH",
+                        help="extra run ledger(s) to replay into the "
+                             "corpus (the store's own surrogate journal "
+                             "is always included)")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="training seed (fits are reproducible)")
+        sp.add_argument("--p-eta", type=int, default=5,
+                        help="output-basis size (default 5)")
+        sp.add_argument("--retrain-after", type=int, default=32,
+                        help="corpus growth beyond the trained set that "
+                             "marks the model stale (default 32)")
+        if action == "train":
+            sp.add_argument("--force", action="store_true",
+                            help="retrain even when the model is fresh")
+        if action == "eval":
+            sp.add_argument("--every", type=int, default=5,
+                            help="hold out every Nth run (default 5)")
+        sp.set_defaults(func=_cmd_surrogate)
 
     p = sub.add_parser("store", help="inspect or maintain the result store")
     ssub = p.add_subparsers(dest="action", required=True)

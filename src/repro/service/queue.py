@@ -214,6 +214,46 @@ class ScenarioQueue:
             return Admission(admitted=True, status="queued", request_id=rid,
                              key=key, depth=self._depth_locked())
 
+    def admit_resolved(self, spec, *, result: dict[str, Any],
+                       key: str | None = None) -> Admission:
+        """Admit a request already answered (the surrogate fast path).
+
+        Creates a tracked record directly in the DONE terminal state
+        carrying ``result``, so status polls, waits and the service
+        counters behave exactly as for an executed request — it just
+        never consumed a queue slot or a worker.  Returns an admission
+        with status ``"done"``.
+        """
+        with self._lock:
+            if key is None:
+                key = instance_key(spec)
+            rid = self._next_rid_locked()
+            rec = RequestRecord(request_id=rid, key=key, priority=0,
+                                seq=self._seq, state=DONE)
+            rec.wait_s = 0.0
+            rec.total_s = rec.clock.elapsed()
+            rec.result = result
+            rec.event.set()
+            self._records[rid] = rec
+            self._finished.append(rid)
+            self.metrics.inc("service.admitted")
+            self.metrics.inc("service.completed")
+            self.metrics.observe("service.request_s", rec.total_s)
+            while len(self._finished) > self.max_finished:
+                self._records.pop(self._finished.popleft(), None)
+            return Admission(admitted=True, status="done", request_id=rid,
+                            key=key, depth=self._depth_locked())
+
+    def in_flight(self, key: str) -> bool:
+        """Whether ``key`` is currently queued or running.
+
+        The surrogate gate checks this before answering: an identical
+        scenario already being computed exactly is better joined (free
+        and bit-exact) than emulated.
+        """
+        with self._lock:
+            return key in self._entries
+
     def _join_locked(self, entry: _Entry, priority: int) -> Admission:
         """Coalesce a request onto an in-flight entry (lock held)."""
         rid = self._next_rid_locked()

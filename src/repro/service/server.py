@@ -108,7 +108,17 @@ def record_view(rec: RequestRecord) -> dict[str, Any]:
 
 
 class ScenarioService:
-    """Queue + broker + telemetry behind one object the API serves."""
+    """Queue + broker + telemetry behind one object the API serves.
+
+    When a :class:`~repro.surrogate.serving.SurrogateGate` is attached,
+    submissions are consulted against it first: a confident emulated
+    answer resolves the request immediately (``source: "surrogate"``
+    plus uncertainty bands, no queue slot, no worker); everything else
+    is enqueued for exact execution as before — and, because the broker
+    journals spec-carrying completions to the store's corpus ledger,
+    every exact run becomes training data for the next retrain (the
+    active-learning loop).
+    """
 
     def __init__(
         self,
@@ -125,9 +135,26 @@ class ScenarioService:
         parallel: bool = True,
         retry=None,
         faults=None,
+        surrogate=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.store = store
+        self.surrogate = surrogate
+        if surrogate is not None:
+            # Fold surrogate.* counters into the service registry so hit
+            # rates and band widths show up on /metrics with everything
+            # else.
+            surrogate.metrics = self.registry
+        if surrogate is not None and ledger is None and store is not None:
+            # The surrogate's flywheel: without an explicit journal,
+            # exact completions still land in the store-adjacent corpus
+            # ledger so the next retrain covers the gaps the gate saw.
+            from ..store.ledger import RunLedger
+            from ..surrogate.corpus import corpus_ledger_path
+
+            path = corpus_ledger_path(store)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            ledger = RunLedger(path)
         self.queue = ScenarioQueue(capacity=capacity,
                                    aging_every=aging_every,
                                    metrics=self.registry)
@@ -153,7 +180,22 @@ class ScenarioService:
     # -- operations ------------------------------------------------------------
 
     def submit(self, spec: InstanceSpec, *, priority: int = 0) -> Admission:
-        """Admit one scenario into the queue."""
+        """Admit one scenario: surrogate fast path first, queue otherwise.
+
+        If an identical request is already queued or running we skip the
+        gate and coalesce onto the exact computation — joining an
+        in-flight run is free and bit-exact, strictly better than an
+        emulated answer.
+        """
+        if self.surrogate is not None and not self.queue.closed:
+            from ..store.keys import instance_key
+
+            key = instance_key(spec, salt=self.broker.salt)
+            if not self.queue.in_flight(key):
+                payload = self.surrogate.try_answer(spec)
+                if payload is not None:
+                    return self.queue.admit_resolved(spec, key=key,
+                                                     result=payload)
         return self.queue.submit(spec, priority=priority)
 
     def status(self, request_id: str) -> dict[str, Any] | None:
@@ -169,11 +211,19 @@ class ScenarioService:
 
     def health(self) -> dict[str, Any]:
         """Liveness payload for ``/healthz``."""
-        return {
+        out = {
             "status": "draining" if self.queue.closed else "ok",
             "queue_depth": self.queue.depth(),
             "broker_running": self.broker.running,
         }
+        if self.surrogate is not None:
+            info = self.surrogate.model_info()
+            out["surrogate"] = {
+                "enabled": True,
+                "rtol": self.surrogate.rtol,
+                "model": info,
+            }
+        return out
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Flat registry snapshot for ``/metrics``."""

@@ -22,6 +22,7 @@ pipeline actually meets:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 import warnings
@@ -214,7 +215,8 @@ class ContentStore:
         self.metrics.inc("store.hits")
         return payload
 
-    def put(self, key: str, payload: Mapping[str, np.ndarray]) -> Path:
+    def put(self, key: str, payload: Mapping[str, np.ndarray], *,
+            family: str | None = None) -> Path:
         """Atomically publish a payload under ``key``, digest included.
 
         An existing blob is left untouched (content-addressed: same key,
@@ -222,9 +224,19 @@ class ContentStore:
         is stored alongside its :func:`payload_digest` so :meth:`get` can
         verify integrity; a firing ``cas.corrupt`` fault inverts the
         stored digest, planting a corruption the read path must catch.
+
+        Args:
+            key: hex content key.
+            payload: named arrays to store.
+            family: optional key-family label (e.g. the key namespace the
+                producer salted into the hash); recorded in the store's
+                family index so ``repro store stats`` can break the blob
+                population down by producer.
         """
         path = self.path_of(key)
         if path.exists():
+            if family is not None and key not in self._family_index():
+                self._append_family(key, family)
             return path
         digest = payload_digest(payload)
         if self.faults is not None:
@@ -247,9 +259,51 @@ class ContentStore:
             Path(tmp_name).unlink(missing_ok=True)
             raise
         self.metrics.inc("store.puts")
+        if family is not None:
+            self._append_family(key, family)
         if self.max_bytes is not None:
             self.gc(self.max_bytes)
         return path
+
+    # -- key families ----------------------------------------------------------
+
+    @property
+    def family_path(self) -> Path:
+        """The append-only ``{key, family}`` JSONL index."""
+        return self.root / "families.jsonl"
+
+    def _append_family(self, key: str, family: str) -> None:
+        """Record one key→family assignment (append-only, last wins)."""
+        with self.family_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"key": key, "family": family}) + "\n")
+
+    def _family_index(self) -> dict[str, str]:
+        """Current key→family map (torn trailing lines tolerated)."""
+        index: dict[str, str] = {}
+        try:
+            lines = self.family_path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return index
+        for line in lines:
+            try:
+                rec = json.loads(line)
+                index[rec["key"]] = rec["family"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+        return index
+
+    def family_counts(self) -> dict[str, int]:
+        """Live blob counts per key family (sorted by family name).
+
+        Only blobs still on disk are counted — evicted or cleared keys
+        drop out even though the index line remains.  Blobs written
+        without a family label are grouped under ``"(unlabelled)"``.
+        """
+        index = self._family_index()
+        counts: Counter = Counter()
+        for key in self.keys():
+            counts[index.get(key, "(unlabelled)")] += 1
+        return dict(sorted(counts.items()))
 
     def keys(self) -> Iterator[str]:
         """All stored content keys."""

@@ -65,13 +65,16 @@ def canonical_value(value: Any) -> str:
     ``repr`` which round-trips exactly.
     """
     if isinstance(value, bool):
-        return f"b:{value}"
+        return f"b:{bool(value)}"
     if isinstance(value, int):
-        return f"i:{value}"
+        return f"i:{int(value)}"
     if isinstance(value, float):
-        return f"f:{value!r}"
+        # Coerce before repr: np.float64 subclasses float but reprs as
+        # "np.float64(...)", which would give the same number two keys
+        # (and break spec round-trips through the JSON ledger).
+        return f"f:{float(value)!r}"
     if isinstance(value, str):
-        return f"s:{value}"
+        return f"s:{str(value)}"
     if value is None:
         return "none"
     raise TypeError(

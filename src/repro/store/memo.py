@@ -32,7 +32,7 @@ import numpy as np
 from ..obs.registry import MetricsRegistry, Stopwatch, global_registry
 from ..resilience.supervisor import QUARANTINE, RAISE, FanoutResult
 from .cas import ContentStore
-from .keys import instance_key
+from .keys import INSTANCE_NAMESPACE, instance_key
 from .ledger import RunLedger
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, see module doc
@@ -130,9 +130,12 @@ def supervise_instances_memoized(
         reg.inc("memo.misses", len(specs))
         reg.observe("memo.batch_s", watch.elapsed())
         if ledger is not None:
+            from ..surrogate.corpus import spec_record
+
             for o in res.completed():
                 ledger.instance_completed(
-                    instance_key(o.spec, salt=salt), label=o.spec.label)
+                    instance_key(o.spec, salt=salt), label=o.spec.label,
+                    spec=spec_record(o.spec))
             ledger.run_completed(hits=0, misses=len(specs),
                                  wall_s=watch.elapsed())
         return res
@@ -155,6 +158,8 @@ def supervise_instances_memoized(
         else:
             exec_of.setdefault(key, i)
 
+    from ..surrogate.corpus import spec_record
+
     exec_idx = sorted(exec_of.values())
     res = supervise_instances(
         [specs[i] for i in exec_idx], parallel=parallel,
@@ -169,10 +174,15 @@ def supervise_instances_memoized(
         if outcome is None:
             failed_of[keys[i]] = next(qiter)
             continue
-        store.put(keys[i], outcome_payload(outcome))
+        store.put(keys[i], outcome_payload(outcome),
+                  family=INSTANCE_NAMESPACE)
         base_of[keys[i]] = outcome
         if ledger is not None:
-            ledger.instance_completed(keys[i], label=outcome.spec.label)
+            # Completion events carry the spec itself: the surrogate
+            # corpus builder replays these to recover (features, output)
+            # training pairs — CAS keys alone are not invertible.
+            ledger.instance_completed(keys[i], label=outcome.spec.label,
+                                      spec=spec_record(outcome.spec))
 
     quarantined = []
     for i, (spec, key) in enumerate(zip(specs, keys)):

@@ -1,0 +1,53 @@
+"""Surrogate fast path: millisecond scenario answers from an emulator.
+
+A full EpiHiper-style simulation per request can never serve millions of
+users; an emulator trained on the corpus of completed runs can.  This
+package turns the content-addressed store from a cache into a flywheel:
+
+- :mod:`~repro.surrogate.corpus` replays run ledgers, resolves completed
+  instances against the :class:`~repro.store.cas.ContentStore`, and
+  extracts deterministic ``(feature-vector, trajectory)`` training pairs.
+- :mod:`~repro.surrogate.model` trains the GPMSA-style
+  :class:`~repro.calibration.basis.OutputBasis` +
+  :class:`~repro.calibration.gp.GPEmulator` stack over the corpus and
+  reconstructs full trajectories with predictive uncertainty bands.
+- :mod:`~repro.surrogate.registry` serialises models into the CAS under
+  their own key family with a latest-model pointer, train-set digest and
+  staleness check.
+- :mod:`~repro.surrogate.serving` is the fast-answer tier the scenario
+  service consults before enqueueing: confident predictions complete in
+  milliseconds with ``source: "surrogate"`` plus bands; everything else
+  falls back to exact simulation, whose result feeds the next retrain
+  (the active-learning loop).
+"""
+
+from .corpus import (
+    FEATURE_VERSION,
+    Corpus,
+    build_corpus,
+    corpus_ledger_path,
+    feature_names,
+    featurize_spec,
+    spec_from_record,
+    spec_record,
+)
+from .model import FeatureSpace, SurrogateModel, SurrogatePrediction, train_model
+from .registry import ModelRegistry
+from .serving import SurrogateGate
+
+__all__ = [
+    "FEATURE_VERSION",
+    "Corpus",
+    "FeatureSpace",
+    "ModelRegistry",
+    "SurrogateGate",
+    "SurrogateModel",
+    "SurrogatePrediction",
+    "build_corpus",
+    "corpus_ledger_path",
+    "feature_names",
+    "featurize_spec",
+    "spec_from_record",
+    "spec_record",
+    "train_model",
+]

@@ -73,6 +73,24 @@ def test_truncation_sd_positive_when_truncated():
     assert b.truncation_sd.max() > 0.01
 
 
+def test_truncation_sd_bounds_roundtrip_error():
+    """Project-then-reconstruct residuals match the truncation term.
+
+    The surrogate adds ``truncation_sd`` to its predictive variance, so
+    the per-day RMS of what the basis cannot represent must be of that
+    order (in output units: truncation_sd * scale).
+    """
+    y = low_rank_ensemble(40, 60, 8, seed=8, noise=0.5)
+    b = fit_basis(y, p_eta=3)
+    resid = y - b.reconstruct(b.project(y))
+    rms = np.sqrt(np.mean(resid ** 2, axis=0))
+    bound = b.truncation_sd * b.scale
+    assert (rms <= 2.0 * bound + 1e-9).all()
+    # And globally the residual is genuinely explained by the term.
+    assert np.sqrt(np.mean(resid ** 2)) <= 1.5 * float(
+        np.sqrt(np.mean(bound ** 2)))
+
+
 def test_validation():
     with pytest.raises(ValueError):
         fit_basis(np.ones((1, 10)))

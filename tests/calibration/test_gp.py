@@ -62,6 +62,40 @@ def test_variance_grows_away_from_data():
     assert v_far[0] > v_near[0]
 
 
+def test_fit_gp_seed_is_reproducible():
+    """Two fits with the same seed produce identical fitted kernels."""
+    x = latin_hypercube(20, 2, np.random.default_rng(0))
+    y = np.sin(3 * x[:, 0]) + x[:, 1]
+    a = fit_gp(x, y, seed=7)
+    b = fit_gp(x, y, seed=7)
+    np.testing.assert_array_equal(a.rho, b.rho)
+    assert a.lam == b.lam
+    assert a.nugget == b.nugget
+    # And an explicit generator with the same stream matches too.
+    c = fit_gp(x, y, np.random.default_rng(7))
+    np.testing.assert_array_equal(a.rho, c.rho)
+
+
+def test_fit_gp_rng_and_seed_are_exclusive():
+    x = latin_hypercube(5, 1, np.random.default_rng(0))
+    y = x[:, 0]
+    with pytest.raises(ValueError, match="rng or seed"):
+        fit_gp(x, y, np.random.default_rng(0), seed=1)
+
+
+def test_variance_near_zero_at_training_points():
+    """Predictive variance collapses on the training set (sanity)."""
+    rng = np.random.default_rng(6)
+    x = latin_hypercube(20, 1, rng)
+    y = np.sin(2 * x[:, 0])
+    gp = fit_gp(x, y, rng)
+    _, v_train = gp.predict(x)
+    prior_var = (1.0 + gp.nugget) / gp.lam
+    assert v_train.max() < 0.25 * prior_var
+    _, v_far = gp.predict(np.array([[3.0]]))  # far outside the cube
+    assert v_far[0] > 10 * v_train.max()
+
+
 def test_fit_validation():
     rng = np.random.default_rng(0)
     with pytest.raises(ValueError, match="at least 3"):

@@ -153,3 +153,38 @@ def test_default_store_env(tmp_path, monkeypatch):
     store = default_store()
     assert store.root == tmp_path / "env-store"
     assert store.max_bytes == 12345
+
+
+def test_family_counts_by_producer(store):
+    store.put(KEY, payload(), family="instance-outcome/v1")
+    store.put(KEY2, payload(6), family="surrogate-model/v1")
+    store.put(KEY3, payload(7))
+    assert store.family_counts() == {
+        "(unlabelled)": 1,
+        "instance-outcome/v1": 1,
+        "surrogate-model/v1": 1,
+    }
+
+
+def test_family_counts_track_live_blobs_only(store):
+    store.put(KEY, payload(), family="fam/a")
+    store.put(KEY2, payload(6), family="fam/a")
+    store.path_of(KEY).unlink()  # evicted/cleared blob drops out
+    assert store.family_counts() == {"fam/a": 1}
+    store.clear()
+    assert store.family_counts() == {}
+
+
+def test_family_backfills_on_repeat_put(store):
+    # First writer had no label; a later labelled put of the same key
+    # (content-addressed no-op) still records the family.
+    store.put(KEY, payload())
+    store.put(KEY, payload(), family="fam/late")
+    assert store.family_counts() == {"fam/late": 1}
+
+
+def test_family_index_tolerates_torn_lines(store):
+    store.put(KEY, payload(), family="fam/a")
+    with store.family_path.open("a", encoding="utf-8") as fh:
+        fh.write('{"key": "truncat')
+    assert store.family_counts() == {"fam/a": 1}

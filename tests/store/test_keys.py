@@ -101,3 +101,12 @@ def test_canonical_value_rejects_unhashable_structures():
 def test_canonical_params_drops_speed_only():
     pairs = canonical_params({"backend": "dense", "TAU": 0.5, "A": 1})
     assert [name for name, _ in pairs] == ["A", "TAU"]
+
+
+def test_numpy_scalars_normalise_to_python_types():
+    """np.float64 subclasses float but reprs differently; keys must not
+    depend on which numeric type the caller happened to hold."""
+    import numpy as np
+
+    assert canonical_value(np.float64(0.12)) == canonical_value(0.12)
+    assert canonical_value(np.float64(0.12)) == "f:0.12"

@@ -1,0 +1,1 @@
+"""Surrogate fast-path tests: corpus, emulator, registry, serving."""

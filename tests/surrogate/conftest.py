@@ -1,0 +1,51 @@
+"""Shared surrogate fixtures: one small trained setup per session.
+
+Eight tiny VT runs (10 days, 1e-3 scale) sweep TAU, land in a content
+store through the memoized fan-out — which journals spec-carrying
+completion events — and a model is trained and published once.  Every
+test file reads from this shared flywheel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import InstanceSpec
+from repro.store.cas import ContentStore
+from repro.store.ledger import RunLedger
+from repro.store.memo import run_instances_memoized
+from repro.surrogate import (
+    ModelRegistry,
+    build_corpus,
+    corpus_ledger_path,
+    train_model,
+)
+
+N_DAYS = 10
+TAUS = tuple(float(t) for t in np.linspace(0.15, 0.35, 8))
+
+
+def make_spec(tau=0.25, seed=0, region="VT", n_days=N_DAYS, scale=1e-3,
+              **params):
+    """One in-family instance spec (TAU is the swept axis)."""
+    p = {"TAU": float(tau), "SYMP": 0.65}
+    p.update(params)
+    return InstanceSpec(region_code=region, params=p, n_days=n_days,
+                        scale=scale, seed=seed, label=f"sur-{tau:.3f}",
+                        asset_seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained(tmp_path_factory):
+    """(store, corpus, model, registry) over the 8-run TAU sweep."""
+    root = tmp_path_factory.mktemp("surrogate-store")
+    store = ContentStore(root)
+    ledger = RunLedger(corpus_ledger_path(store))
+    specs = [make_spec(tau) for tau in TAUS]
+    run_instances_memoized(specs, store=store, ledger=ledger, parallel=False)
+    corpus = build_corpus(store)
+    model = train_model(corpus, seed=0)
+    registry = ModelRegistry(store)
+    registry.publish(model)
+    return store, corpus, model, registry

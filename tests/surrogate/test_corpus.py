@@ -1,0 +1,79 @@
+"""Corpus extraction: featurization, ledger replay, stale-code filtering."""
+
+import numpy as np
+import pytest
+
+from repro.store.keys import instance_key
+from repro.surrogate import (
+    build_corpus,
+    feature_names,
+    featurize_spec,
+    spec_from_record,
+    spec_record,
+)
+from repro.surrogate.corpus import corpus_version
+
+from .conftest import N_DAYS, TAUS, make_spec
+
+pytestmark = pytest.mark.fast
+
+
+def test_featurize_is_deterministic():
+    a = featurize_spec(make_spec(0.22))
+    b = featurize_spec(make_spec(0.22))
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == (len(feature_names()),)
+
+
+def test_absent_param_featurizes_like_its_default():
+    # The runner treats a missing knob as its default; features must too.
+    explicit = make_spec(0.18, SH_COMPLIANCE=0.0)
+    implicit = make_spec(0.18)
+    np.testing.assert_array_equal(featurize_spec(explicit),
+                                  featurize_spec(implicit))
+
+
+def test_seed_is_excluded_from_features():
+    # The emulator predicts the scenario, not one replicate's stream.
+    np.testing.assert_array_equal(featurize_spec(make_spec(0.2, seed=0)),
+                                  featurize_spec(make_spec(0.2, seed=99)))
+
+
+def test_region_one_hot_distinguishes_regions():
+    vt = featurize_spec(make_spec(0.2, region="VT"))
+    va = featurize_spec(make_spec(0.2, region="VA"))
+    assert not np.array_equal(vt, va)
+    names = feature_names()
+    assert vt[names.index("region:VT")] == 1.0
+    assert vt[names.index("region:VA")] == 0.0
+
+
+def test_spec_record_roundtrip_rekeys_identically():
+    spec = make_spec(0.27, seed=3)
+    back = spec_from_record(spec_record(spec))
+    assert instance_key(back) == instance_key(spec)
+
+
+def test_build_corpus_resolves_every_completed_run(trained):
+    store, corpus, _model, _registry = trained
+    assert len(corpus) == len(TAUS)
+    assert corpus.n_days == N_DAYS
+    assert corpus.outputs.shape == (len(TAUS), N_DAYS + 1)
+    assert len(set(corpus.keys)) == len(TAUS)
+    assert corpus.version == corpus_version()
+
+
+def test_build_corpus_drops_stale_code_versions(trained):
+    # Events were keyed under the current salt; a different salt means a
+    # different kernel produced them — nothing is trainable.
+    store, _corpus, _model, _registry = trained
+    stale = build_corpus(store, salt="some-other-kernel")
+    assert len(stale) == 0
+
+
+def test_corpus_digest_is_order_independent(trained):
+    _store, corpus, _model, _registry = trained
+    shuffled = corpus.subset(np.random.default_rng(0).permutation(
+        len(corpus)))
+    assert shuffled.digest() == corpus.digest()
+    assert corpus.subset([0, 1]).digest() != corpus.digest()

@@ -1,0 +1,100 @@
+"""Emulator training, prediction, uncertainty and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate import featurize_spec, train_model
+from repro.surrogate.model import FeatureSpace
+
+from .conftest import TAUS, make_spec
+
+pytestmark = pytest.mark.fast
+
+
+def test_feature_space_tracks_active_dimensions(trained):
+    _store, corpus, model, _registry = trained
+    # Only TAU varies across the sweep; every other feature is pinned.
+    assert model.space.d_active == 1
+    names = list(corpus.names)
+    assert bool(model.space.active[names.index("tau")])
+    unit = model.space.to_unit(corpus.features)
+    assert unit.shape == (len(corpus), 1)
+    assert unit.min() == pytest.approx(0.0) and unit.max() == pytest.approx(1.0)
+
+
+def test_feature_space_hull_rejects_moved_constant_dims(trained):
+    _store, _corpus, model, _registry = trained
+    inside = featurize_spec(make_spec(0.25))
+    assert model.space.contains(inside, pad=0.1)
+    # A new region flips one-hot dims the corpus never varied: OOD.
+    other_region = featurize_spec(make_spec(0.25, region="CA"))
+    assert not model.space.contains(other_region, pad=0.1)
+    # Mild extrapolation on the active dim is allowed, far is not.
+    near = featurize_spec(make_spec(max(TAUS) + 0.01))
+    far = featurize_spec(make_spec(max(TAUS) + 0.2))
+    assert model.space.contains(near, pad=0.1)
+    assert not model.space.contains(far, pad=0.1)
+
+
+def test_prediction_tracks_truth_at_training_points(trained):
+    _store, corpus, model, _registry = trained
+    for i in range(len(corpus)):
+        pred = model.predict_features(corpus.features[i])
+        truth = corpus.outputs[i]
+        peak = max(float(np.max(truth)), 1e-9)
+        rel_rmse = float(np.sqrt(np.mean((pred.mean - truth) ** 2))) / peak
+        assert rel_rmse < 0.25
+        assert pred.in_hull
+        assert (pred.sd >= 0).all()
+        assert 0.0 <= pred.attack_rate <= 1.0
+
+
+def test_uncertainty_grows_toward_the_hull_edge(trained):
+    _store, _corpus, model, _registry = trained
+    mid = model.predict_features(featurize_spec(make_spec(0.25)))
+    edge = model.predict_features(
+        featurize_spec(make_spec(max(TAUS) + 0.01)))
+    assert edge.rtol > mid.rtol
+
+
+def test_bands_bracket_the_mean_and_clip_at_zero(trained):
+    _store, _corpus, model, _registry = trained
+    pred = model.predict_features(featurize_spec(make_spec(0.2)))
+    lo, hi = pred.bands()
+    assert (lo <= pred.mean + 1e-12).all()
+    assert (hi >= pred.mean - 1e-12).all()
+    assert (lo >= 0).all()
+
+
+def test_payload_roundtrip_preserves_predictions(trained):
+    _store, _corpus, model, _registry = trained
+    back = type(model).from_payload(model.to_payload())
+    x = featurize_spec(make_spec(0.23))
+    a, b = model.predict_features(x), back.predict_features(x)
+    np.testing.assert_allclose(a.mean, b.mean)
+    np.testing.assert_allclose(a.sd, b.sd)
+    assert a.attack_rate == pytest.approx(b.attack_rate)
+    assert back.model_key() == model.model_key()
+    assert back.names == model.names
+    assert back.version == model.version
+
+
+def test_training_is_seed_deterministic(trained):
+    _store, corpus, model, _registry = trained
+    again = train_model(corpus, seed=0)
+    assert again.model_key() == model.model_key()
+    for gp_a, gp_b in zip(again.gps, model.gps):
+        np.testing.assert_array_equal(gp_a.rho, gp_b.rho)
+        assert gp_a.lam == gp_b.lam
+        assert gp_a.nugget == gp_b.nugget
+
+
+def test_train_refuses_a_tiny_corpus(trained):
+    _store, corpus, _model, _registry = trained
+    with pytest.raises(ValueError, match="at least 3"):
+        train_model(corpus.subset([0, 1]))
+
+
+def test_feature_space_fit_validation():
+    with pytest.raises(ValueError, match="no rows"):
+        FeatureSpace.fit(np.empty((0, 3)))

@@ -1,0 +1,100 @@
+"""Surrogate-in-the-service: fast answers, exact fallback, the flywheel."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.service.queue import DONE, ScenarioQueue
+from repro.service.server import ScenarioService
+from repro.store.cas import ContentStore
+from repro.store.keys import instance_key
+from repro.surrogate import (
+    ModelRegistry,
+    SurrogateGate,
+    build_corpus,
+    corpus_ledger_path,
+)
+
+from .conftest import make_spec
+
+pytestmark = pytest.mark.fast
+
+
+def make_service(store, registry, **kw):
+    gate = SurrogateGate(ModelRegistry(registry.store), rtol=0.5)
+    kw.setdefault("parallel", False)
+    return ScenarioService(store=store, surrogate=gate, **kw)
+
+
+def test_confident_request_completes_without_the_broker(trained):
+    store, _corpus, _model, registry = trained
+    service = make_service(store, registry)
+    # The broker is never started: only the surrogate can answer.
+    adm = service.submit(make_spec(0.25, seed=777))
+    assert adm.admitted and adm.status == "done"
+    view = service.status(adm.request_id)
+    assert view["state"] == DONE
+    assert view["result"]["source"] == "surrogate"
+    assert "confirmed_lo" in view["result"]
+    snap = service.metrics_snapshot()
+    assert snap["surrogate.hit"] == 1
+    assert snap["service.completed"] == 1
+
+
+def test_out_of_distribution_request_enqueues_for_exact_run(trained):
+    store, _corpus, _model, registry = trained
+    service = make_service(store, registry)
+    adm = service.submit(make_spec(0.2, region="CA"))
+    assert adm.admitted and adm.status == "queued"
+    assert service.metrics_snapshot()["surrogate.fallback"] == 1
+    service.queue.cancel_pending()
+
+
+def test_in_flight_scenario_coalesces_instead_of_emulating(trained):
+    store, _corpus, _model, registry = trained
+    service = make_service(store, registry)
+    # Force an identical key into the queue first (gate disabled for it).
+    spec = make_spec(0.25, seed=424)
+    service.surrogate, gate = None, service.surrogate
+    first = service.submit(spec)
+    service.surrogate = gate
+    assert first.status == "queued"
+    joined = service.submit(make_spec(0.25, seed=424))
+    # Joining the exact in-flight computation beats an emulated answer.
+    assert joined.status == "coalesced"
+    assert service.metrics_snapshot().get("surrogate.hit", 0) == 0
+    service.queue.cancel_pending()
+
+
+def test_surrogate_service_defaults_ledger_to_corpus_journal(tmp_path):
+    store = ContentStore(tmp_path / "store")
+    gate = SurrogateGate(ModelRegistry(store))
+    service = ScenarioService(store=store, surrogate=gate, parallel=False)
+    assert service.broker.ledger is not None
+    assert service.broker.ledger.path == corpus_ledger_path(store)
+
+
+def test_exact_completions_feed_the_next_retrain(tmp_path):
+    # The active-learning loop: with no model yet, a request runs exactly
+    # and its completion lands in the corpus journal for the next train.
+    store = ContentStore(tmp_path / "store")
+    gate = SurrogateGate(ModelRegistry(store), metrics=MetricsRegistry())
+    service = ScenarioService(store=store, surrogate=gate, parallel=False)
+    adm = service.submit(make_spec(0.3))
+    assert adm.status == "queued"  # miss: no model published yet
+    service.broker.run_once()
+    assert service.queue.status(adm.request_id).state == DONE
+    corpus = build_corpus(store)
+    assert len(corpus) == 1
+    assert service.metrics_snapshot()["surrogate.miss"] == 1
+
+
+def test_admit_resolved_counts_and_finishes_immediately():
+    q = ScenarioQueue(metrics=MetricsRegistry())
+    spec = make_spec(0.2)
+    adm = q.admit_resolved(spec, result={"answer": 42},
+                           key=instance_key(spec))
+    rec = q.wait(adm.request_id, timeout_s=0.1)
+    assert rec is not None and rec.state == DONE
+    assert rec.result == {"answer": 42}
+    assert not q.in_flight(adm.key)
+    assert q.metrics.value("service.completed") == 1

@@ -1,0 +1,113 @@
+"""The serving gate and model registry: hits, fallbacks, staleness."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.store.cas import ContentStore
+from repro.surrogate import ModelRegistry, SurrogateGate, train_model
+
+from .conftest import TAUS, make_spec
+
+pytestmark = pytest.mark.fast
+
+
+def make_gate(registry, **kw):
+    kw.setdefault("rtol", 0.5)
+    kw.setdefault("metrics", MetricsRegistry())
+    return SurrogateGate(registry, **kw)
+
+
+def test_no_model_is_a_miss(tmp_path):
+    gate = make_gate(ModelRegistry(ContentStore(tmp_path / "empty")))
+    assert gate.try_answer(make_spec(0.2)) is None
+    assert gate.metrics.value("surrogate.miss") == 1
+
+
+def test_in_distribution_request_is_served_with_bands(trained):
+    _store, _corpus, _model, registry = trained
+    gate = make_gate(registry)
+    payload = gate.try_answer(make_spec(0.25, seed=1234))
+    assert payload is not None
+    assert str(payload["source"]) == "surrogate"
+    assert (payload["confirmed_lo"] <= payload["confirmed"] + 1e-12).all()
+    assert (payload["confirmed_hi"] >= payload["confirmed"] - 1e-12).all()
+    assert (payload["confirmed_sd"] >= 0).all()
+    assert gate.metrics.value("surrogate.hit") == 1
+
+
+def test_out_of_hull_region_falls_back(trained):
+    _store, _corpus, _model, registry = trained
+    gate = make_gate(registry)
+    assert gate.try_answer(make_spec(0.2, region="CA")) is None
+    assert gate.metrics.value("surrogate.fallback") == 1
+
+
+def test_wrong_horizon_falls_back(trained):
+    _store, _corpus, _model, registry = trained
+    gate = make_gate(registry)
+    assert gate.try_answer(make_spec(0.2, n_days=60)) is None
+    assert gate.metrics.value("surrogate.fallback") == 1
+
+
+def test_tight_rtol_declines_uncertain_requests(trained):
+    _store, _corpus, _model, registry = trained
+    gate = make_gate(registry, rtol=1e-9)
+    assert gate.try_answer(make_spec(0.25)) is None
+    assert gate.metrics.value("surrogate.fallback") == 1
+
+
+def test_gate_rejects_nonpositive_rtol(trained):
+    _store, _corpus, _model, registry = trained
+    with pytest.raises(ValueError, match="rtol"):
+        SurrogateGate(registry, rtol=0.0)
+
+
+def test_registry_roundtrips_latest_model(trained):
+    _store, _corpus, model, registry = trained
+    info = registry.latest_info()
+    assert info["key"] == model.model_key()
+    assert info["n_train"] == len(TAUS)
+    loaded = registry.latest()
+    assert loaded is not None
+    assert loaded.model_key() == model.model_key()
+
+
+def test_registry_refuses_version_mismatch(trained):
+    _store, _corpus, _model, registry = trained
+    # Under a different code salt the published model must read as absent.
+    assert registry.latest(salt="other-kernel") is None
+    assert registry.stale(0, salt="other-kernel")
+
+
+def test_staleness_tracks_corpus_growth(trained):
+    _store, corpus, _model, registry = trained
+    assert not registry.stale(len(corpus))
+    assert not registry.stale(len(corpus) + registry.retrain_after)
+    assert registry.stale(len(corpus) + registry.retrain_after + 1)
+
+
+def test_gate_picks_up_a_republished_model(trained):
+    _store, corpus, model, registry = trained
+    gate = make_gate(registry)
+    assert gate.model() is not None  # warm the pointer-stat cache
+    retrained = train_model(corpus, seed=1)
+    registry.publish(retrained)
+    fresh = gate.model()
+    assert fresh is not None and fresh.seed == 1
+    # Restore the session fixture's model for sibling tests.
+    registry.publish(model)
+
+
+def test_surrogate_payload_shape_matches_exact_results(trained):
+    # Exact payloads carry no source marker; surrogate ones always do —
+    # clients key off its presence.  The shared fields line up so a
+    # caller can read confirmed/attack_rate without caring which tier
+    # answered.
+    store, _corpus, _model, registry = trained
+    gate = make_gate(registry)
+    payload = gate.try_answer(make_spec(0.25))
+    exact = store.get(next(iter(store.keys())))
+    assert "source" not in exact and str(payload["source"]) == "surrogate"
+    assert {"confirmed", "attack_rate"} <= set(payload)
+    assert float(np.asarray(payload["rtol"])) <= 0.5
