@@ -5,8 +5,24 @@ Zipf-distributed scenario mix from several submitter threads — the shape
 of interactive planner demand, where a few "hot" what-ifs are asked over
 and over.  Reports requests/s, p50/p99 request latency, and the coalesce
 and memo hit rates that make the hot head cheap.
+
+Run directly for the sharded-plane measurement (see ``__main__``)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --shards 4
+
+That mode spawns N real shard worker processes over one shared store
+(CAS + lease table + terminal spool, exactly the ``serve --shards N``
+composition), drives each with its key-routed slice of the Zipf mix, and
+reports sustained plane throughput, the coalescing ratio vs a
+single-process run of the same mix, a bit-identical payload check, and —
+honestly, separately — the HTTP front-door round-trip rate through the
+router (this host has one CPU core; HTTP serialization timeshares with
+everything else, so the front-door number is a floor, not the plane's
+capacity).
 """
 
+import hashlib
+import json
 import threading
 
 import numpy as np
@@ -116,3 +132,271 @@ def test_service_throughput_zipf_mix(benchmark, service, save_artifact):
     ]
     save_artifact("service_throughput", "\n".join(lines))
     print("\n".join(lines))
+
+
+# -- sharded-plane measurement (python bench_service_throughput.py) ------------
+
+BENCH_SALT = "bench-shards"
+
+
+def payload_digest_hex(result):
+    """Stable digest of a JSON-shaped result payload (bit-identity check)."""
+    return hashlib.sha256(
+        json.dumps(result, sort_keys=True).encode()).hexdigest()
+
+
+def record_result(rec):
+    """The JSON payload a client would receive for a DONE record."""
+    return {k: v.tolist() for k, v in rec.result.items()}
+
+
+#: Closed-loop driver chunk: comfortably inside the queue's terminal-
+#: record retention window (``max_finished``), so every id in a chunk is
+#: still pollable when its chunk is waited on.
+DRIVE_CHUNK = 1500
+
+
+def drive_service(service, specs, mix, *, timeout_s=600.0):
+    """Drive ``mix`` (spec indices) closed-loop: submit a chunk as fast
+    as possible, wait every id in it to terminal, repeat.
+
+    Returns ``(wall_s, digests)`` where digests maps spec index -> the
+    payload digest of that scenario's answer.
+    """
+    import time
+
+    digests = {}
+    t0 = time.perf_counter()
+    for lo in range(0, len(mix), DRIVE_CHUNK):
+        chunk = mix[lo:lo + DRIVE_CHUNK]
+        ids = [(int(i), service.submit(specs[int(i)]).request_id)
+               for i in chunk]
+        for i, rid in ids:
+            rec = service.queue.wait(rid, timeout_s=timeout_s)
+            assert rec is not None and rec.state == "done", (i, rid)
+            if i not in digests:
+                digests[i] = payload_digest_hex(record_result(rec))
+    return time.perf_counter() - t0, digests
+
+
+def make_specs(n):
+    return [scenario(i) for i in range(n)]
+
+
+def single_process_run(store_root, mix):
+    """The whole mix through one service: the coalescing/digest baseline."""
+    service = ScenarioService(
+        store=ContentStore(store_root), salt=BENCH_SALT,
+        capacity=len(mix) + 1, batch_size=8, elastic_max=1024,
+        parallel=False).start()
+    try:
+        wall_s, digests = drive_service(service, make_specs(N_SCENARIOS), mix)
+        snap = service.metrics_snapshot()
+    finally:
+        service.stop(drain=True, timeout_s=60.0)
+    return {"wall_s": wall_s, "requests": len(mix), "digests": digests,
+            "coalesced": snap.get("service.coalesced", 0),
+            "memo_hits": snap.get("memo.hits", 0),
+            "memo_misses": snap.get("memo.misses", 0)}
+
+
+def plane_worker(index, num_shards, store_root, mix, barrier, result_path):
+    """One shard worker process of the plane measurement.
+
+    Builds the exact shard composition of ``serve --shards N`` — shared
+    CAS, lease table, terminal spool, shard-prefixed ids, elastic broker
+    — and drives it with the key-routed slice of the global mix.  The
+    driver is in-process (no HTTP) so the measurement is of the sharded
+    service plane itself.
+    """
+    from pathlib import Path
+
+    from repro.service.shard import ShardConfig, build_shard_service
+
+    config = ShardConfig(
+        index=index, num_shards=num_shards, store_root=str(store_root),
+        port_file="", salt=BENCH_SALT, capacity=len(mix) + 1, batch_size=8,
+        elastic_max=1024, parallel=False)
+    service, _store = build_shard_service(config)
+    service.start()
+    try:
+        specs = make_specs(N_SCENARIOS)
+        barrier.wait()
+        wall_s, digests = drive_service(service, specs, mix)
+        snap = service.metrics_snapshot()
+    finally:
+        service.stop(drain=True, timeout_s=60.0)
+    Path(result_path).write_text(json.dumps({
+        "shard": index, "requests": len(mix), "wall_s": wall_s,
+        "digests": digests,
+        "coalesced": snap.get("service.coalesced", 0),
+        "memo_hits": snap.get("memo.hits", 0),
+        "memo_misses": snap.get("memo.misses", 0),
+        "remote_hits": snap.get("memo.remote_hits", 0),
+        "batch_effective": snap.get("service.batch_effective", 0)}))
+
+
+def sharded_plane_run(store_root, mix, num_shards):
+    """Spawn the worker fleet, partition the mix by key hash, aggregate."""
+    import multiprocessing
+
+    from repro.service.shard import shard_of
+    from repro.store.keys import instance_key
+
+    keys = [instance_key(s, salt=BENCH_SALT) for s in make_specs(N_SCENARIOS)]
+    slices = [[int(i) for i in mix
+               if shard_of(keys[int(i)], num_shards) == k]
+              for k in range(num_shards)]
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(num_shards)
+    procs = []
+    for k in range(num_shards):
+        result_path = store_root / f"bench_result_s{k}.json"
+        # daemon=False: shard brokers may own process pools.
+        procs.append(ctx.Process(
+            target=plane_worker,
+            args=(k, num_shards, store_root, slices[k], barrier,
+                  str(result_path)),
+            daemon=False))
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(900)
+        assert p.exitcode == 0, f"worker exited {p.exitcode}"
+    results = [json.loads((store_root / f"bench_result_s{k}.json")
+                          .read_text()) for k in range(num_shards)]
+    return results
+
+
+def http_front_door_run(store_root, mix, num_shards, *, n_threads=4):
+    """The same mix through the real router + shard HTTP processes."""
+    import time
+
+    from repro.service import Router, ServiceClient, ShardFleet, \
+        make_router_server
+
+    fleet = ShardFleet(store_root, num_shards, capacity=512, batch_size=8,
+                       elastic_max=64, parallel=False, salt=BENCH_SALT)
+    fleet.start()
+    server = make_router_server(Router.for_fleet(fleet))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://127.0.0.1:%d" % server.server_address[1]
+    bodies = [{"region": "VT", "params": {"TAU": 0.20 + 0.01 * int(i)},
+               "days": N_DAYS, "scale": 1e-3, "seed": 1000 + int(i)}
+              for i in mix]
+    chunks = np.array_split(np.arange(len(bodies)), n_threads)
+    walls = [0.0] * n_threads
+
+    def submitter(slot):
+        client = ServiceClient(url, timeout_s=120.0)
+        t0 = time.perf_counter()
+        ids = [client.submit(bodies[int(j)])["id"] for j in chunks[slot]]
+        for rid in ids:
+            view = client.wait(rid, timeout_s=300.0)
+            assert view["state"] == "done"
+        walls[slot] = time.perf_counter() - t0
+
+    try:
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=submitter, args=(s,))
+                   for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t0
+    finally:
+        server.shutdown()
+        server.server_close()
+        fleet.stop()
+    return {"requests": len(bodies), "wall_s": wall_s}
+
+
+def main():
+    import argparse
+    import tempfile
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="sharded scenario-service plane throughput")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=24_000,
+                        help="total submissions in the measured mix")
+    parser.add_argument("--http-requests", type=int, default=240,
+                        help="submissions for the HTTP front-door pass")
+    parser.add_argument("--out", default=str(
+        Path(__file__).parent / "out" / "service_throughput_sharded.txt"))
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(7)
+    ranks = np.arange(1, N_SCENARIOS + 1, dtype=np.float64)
+    weights = ranks ** -ZIPF_A
+    weights /= weights.sum()
+    mix = rng.choice(N_SCENARIOS, size=args.requests, p=weights)
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-shards-"))
+
+    print(f"single-process baseline: {args.requests} requests ...",
+          flush=True)
+    single = single_process_run(tmp / "store-single", mix)
+    rps_single = single["requests"] / single["wall_s"]
+    ratio_single = (single["requests"] - single["memo_misses"]) \
+        / single["requests"]
+
+    print(f"sharded plane: {args.shards} worker processes ...", flush=True)
+    shards = sharded_plane_run(tmp / "store-sharded", mix, args.shards)
+    plane_requests = sum(r["requests"] for r in shards)
+    plane_wall = max(r["wall_s"] for r in shards)
+    rps_plane = plane_requests / plane_wall
+    plane_misses = sum(r["memo_misses"] for r in shards)
+    ratio_plane = (plane_requests - plane_misses) / plane_requests
+
+    # Bit-identity: every scenario's sharded answer equals the
+    # single-process answer, byte for byte (JSON-serialized payload).
+    sharded_digests = {}
+    for r in shards:
+        sharded_digests.update({int(k): v for k, v in r["digests"].items()})
+    assert set(sharded_digests) == set(single["digests"])
+    mismatched = [i for i, d in sharded_digests.items()
+                  if single["digests"][i] != d]
+    assert not mismatched, f"payload mismatch for scenarios {mismatched}"
+
+    print(f"http front door: {args.http_requests} requests ...", flush=True)
+    http = http_front_door_run(tmp / "store-http", mix[:args.http_requests],
+                               args.shards)
+    rps_http = http["requests"] / http["wall_s"]
+
+    lines = [
+        "sharded scenario service plane (serve --shards N composition)",
+        f"  mix: {args.requests} requests over {N_SCENARIOS} scenarios "
+        f"(zipf a={ZIPF_A}), key-hash sharded",
+        f"  single-process baseline: {rps_single:,.0f} req/s "
+        f"({single['wall_s']:.2f}s wall), "
+        f"{single['memo_misses']:.0f} executions, "
+        f"coalescing ratio {ratio_single:.1%}",
+        f"  sharded plane ({args.shards} worker processes, shared "
+        f"CAS+leases+spool): {rps_plane:,.0f} req/s sustained "
+        f"({plane_wall:.2f}s wall), {plane_misses:.0f} executions "
+        f"fleet-wide, coalescing ratio {ratio_plane:.1%}",
+        "  per-shard: " + ", ".join(
+            f"s{r['shard']}={r['requests']}req/"
+            f"{r['requests'] / r['wall_s']:,.0f}rps" for r in shards),
+        f"  coalescing delta vs single-process: "
+        f"{abs(ratio_plane - ratio_single) * 100:.2f} points "
+        f"(gate: within 5)",
+        "  payloads: bit-identical to single-process for all "
+        f"{len(sharded_digests)} scenarios (sha256 over JSON payload)",
+        f"  http front door (router + {args.shards} shard processes, "
+        f"1 CPU core): {rps_http:,.0f} req/s round-trip over "
+        f"{http['requests']} requests",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    Path(args.out).parent.mkdir(exist_ok=True)
+    Path(args.out).write_text(text + "\n")
+    assert rps_plane >= 10_000, f"plane throughput {rps_plane:,.0f} < 10k"
+    assert abs(ratio_plane - ratio_single) <= 0.05
+
+
+if __name__ == "__main__":
+    main()

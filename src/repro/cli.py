@@ -630,9 +630,58 @@ def _cmd_surrogate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --shards N``: N worker processes behind one router."""
+    from .service import Router, ShardFleet, make_router_server
+
+    if args.surrogate or args.inject:
+        raise SystemExit(
+            "--shards does not combine with --surrogate/--inject yet")
+    store = _resolve_store(args)
+    if store is None:
+        raise SystemExit(
+            "--shards needs the shared result store (drop --no-cache)")
+    fleet = ShardFleet(
+        store.root, args.shards, host=args.host,
+        capacity=args.capacity, aging_every=args.aging_every,
+        batch_size=args.batch_size, elastic_max=args.elastic_max,
+        max_workers=args.workers, parallel=not args.serial)
+    fleet.start()
+    router = Router.for_fleet(fleet)
+    server = make_router_server(router, host=args.host, port=args.port)
+    port = server.server_address[1]
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
+    shards = ", ".join(f"s{h.index}@{h.address[1]}" for h in fleet.shards
+                       if h.address is not None)
+    print(f"repro router listening on http://{args.host}:{port} "
+          f"({args.shards} shards: {shards})", flush=True)
+    import signal
+
+    def _graceful(_sig: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _graceful)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt: draining shards...", flush=True)
+    finally:
+        server.server_close()
+        fleet.stop()
+    print("fleet stopped", flush=True)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ScenarioService, make_server
 
+    if args.shards > 1:
+        return _serve_fleet(args)
     store = _resolve_store(args)
     ledger = _resolve_ledger(args)
     tracer = _resolve_tracer(args, run_id="serve")
@@ -664,7 +713,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         capacity=args.capacity, aging_every=args.aging_every,
         batch_size=args.batch_size, max_workers=args.workers,
         parallel=not args.serial, retry=retry, faults=faults,
-        surrogate=surrogate)
+        surrogate=surrogate, elastic_max=args.elastic_max)
     server = make_server(service, host=args.host, port=args.port)
     port = server.server_address[1]
     if args.port_file:
@@ -707,6 +756,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from .service import (
         DEFAULT_PORT,
+        DrainingError,
+        QuarantinedError,
         QueueFullError,
         ServiceClient,
         ServiceError,
@@ -729,6 +780,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"rejected: queue full, retry after {exc.retry_after_s:.1f}s",
               file=sys.stderr)
         return 3
+    except DrainingError as exc:
+        print(f"rejected: service draining ({exc})", file=sys.stderr)
+        return 3
+    except QuarantinedError as exc:
+        print(f"quarantined: {exc}", file=sys.stderr)
+        return EXIT_QUARANTINED
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
@@ -760,6 +817,43 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"{view['state']}: {view.get('error', 'no detail')}",
           file=sys.stderr)
     return EXIT_QUARANTINED
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import DEFAULT_PORT, ServiceClient, ServiceError
+
+    url = (args.url or os.environ.get("REPRO_SERVICE_URL")
+           or f"http://127.0.0.1:{DEFAULT_PORT}")
+    client = ServiceClient(url)
+    cursor = args.cursor
+    shown = 0
+    try:
+        while True:
+            page = client.list(state=args.state, limit=args.limit,
+                               cursor=cursor)
+            for view in page["scenarios"]:
+                line = (f"{view['id']}  {view['state']:<9} "
+                        f"key {view['key'][:12]}  prio {view['priority']}")
+                if view.get("coalesced"):
+                    line += "  (coalesced)"
+                if view.get("total_s") is not None:
+                    line += f"  {view['total_s']:.2f}s"
+                if view.get("error"):
+                    line += f"  error: {view['error']}"
+                print(line)
+                shown += 1
+            cursor = page.get("next_cursor")
+            if not args.all or not cursor:
+                break
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if cursor:
+        print(f"-- more: --cursor {cursor}")
+    print(f"{shown} scenario(s)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -893,6 +987,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admissions per +1 priority boost of waiting work")
     p.add_argument("--batch-size", type=int, default=4,
                    help="scenarios per supervised fan-out batch")
+    p.add_argument("--elastic-max", type=int, default=None,
+                   help="let the claimed batch grow with the backlog up "
+                        "to this bound (default: fixed --batch-size)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run N sharded worker processes behind a router "
+                        "(scenarios are sharded by cache-key hash; needs "
+                        "the shared result store)")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size for each batch")
     p.add_argument("--serial", action="store_true",
@@ -939,6 +1040,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poll", type=float, default=0.2,
                    help="poll interval in seconds")
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "scenarios", help="inspect a running service's requests")
+    scsub = p.add_subparsers(dest="action", required=True)
+    sp = scsub.add_parser("list", help="list tracked requests (paginated)")
+    sp.add_argument("--state",
+                    choices=["queued", "running", "done", "failed",
+                             "cancelled"],
+                    help="only requests in this state")
+    sp.add_argument("--limit", type=int, default=50,
+                    help="page size (max 500)")
+    sp.add_argument("--cursor",
+                    help="resume after this request id (keyset pagination)")
+    sp.add_argument("--all", action="store_true",
+                    help="follow next_cursor to the end of the registry")
+    sp.add_argument("--url",
+                    help="service base URL (default REPRO_SERVICE_URL or "
+                         "http://127.0.0.1:8377)")
+    sp.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("trace", help="summarize or export a run trace")
     tsub = p.add_subparsers(dest="action", required=True)

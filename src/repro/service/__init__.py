@@ -6,6 +6,9 @@ sweep — but the *demand* on such a system is interactive: planners ask
 question within minutes of each other.  This package turns the
 reproduction's execution stack into a long-running service:
 
+- :mod:`~repro.service.api` — the versioned ``/v1`` surface: one routing
+  table, one error envelope, legacy unversioned paths as deprecated
+  aliases;
 - :mod:`~repro.service.queue` — bounded admission with priority,
   deterministic aging (no starvation), and request coalescing keyed on
   canonical :func:`~repro.store.keys.instance_key` cache keys;
@@ -13,11 +16,33 @@ reproduction's execution stack into a long-running service:
   through :func:`~repro.store.memo.supervise_instances_memoized`, mapping
   every request to a terminal state even when workers die;
 - :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
-  stdlib-only JSON HTTP API (``repro serve`` / ``repro submit``).
+  stdlib-only JSON HTTP API (``repro serve`` / ``repro submit``);
+- :mod:`~repro.service.shard` / :mod:`~repro.service.router` — the
+  scale-out plane: N independent broker/worker processes sharded by
+  cache-key hash over one shared store, coalescing kept correct across
+  processes by a lease table, fronted by a stateless router
+  (``repro serve --shards N``).
 """
 
+from .api import (
+    API_PREFIX,
+    API_VERSION,
+    ERROR_CODES,
+    ApiError,
+    BadRequest,
+    error_envelope,
+    resolve,
+    spec_from_request,
+)
 from .broker import Broker
-from .client import QueueFullError, ServiceClient, ServiceError
+from .client import (
+    DrainingError,
+    NotFoundError,
+    QuarantinedError,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+)
 from .queue import (
     CANCELLED,
     DONE,
@@ -30,36 +55,51 @@ from .queue import (
     RequestRecord,
     ScenarioQueue,
 )
+from .router import Router, RouterServer, make_router_server
 from .server import (
     DEFAULT_PORT,
-    BadRequest,
     ScenarioServer,
     ScenarioService,
     make_server,
     record_view,
-    spec_from_request,
 )
+from .shard import ShardConfig, ShardFleet, shard_of
 
 __all__ = [
+    "API_PREFIX",
+    "API_VERSION",
     "Admission",
+    "ApiError",
     "BadRequest",
     "Broker",
     "CANCELLED",
     "Claim",
     "DEFAULT_PORT",
     "DONE",
+    "DrainingError",
+    "ERROR_CODES",
     "FAILED",
+    "NotFoundError",
     "QUEUED",
+    "QuarantinedError",
     "QueueFullError",
     "RUNNING",
     "RequestRecord",
+    "Router",
+    "RouterServer",
     "ScenarioQueue",
     "ScenarioServer",
     "ScenarioService",
     "ServiceClient",
     "ServiceError",
+    "ShardConfig",
+    "ShardFleet",
     "TERMINAL_STATES",
+    "error_envelope",
+    "make_router_server",
     "make_server",
     "record_view",
+    "resolve",
+    "shard_of",
     "spec_from_request",
 ]

@@ -44,11 +44,22 @@ class Broker:
             thread records one ``request:<id>`` span per served request
             (modelled on the admission-sequence clock) and a
             ``service:batch`` span per fan-out.
-        batch_size: max entries claimed per fan-out.
+        batch_size: max entries claimed per fan-out (the floor when
+            elastic sizing is on).
         max_workers / parallel: forwarded to the fan-out.
         retry: per-instance :class:`~repro.resilience.retry.RetryPolicy`.
         faults: optional :class:`~repro.resilience.faults.FaultPlan`
             threaded to workers (service chaos drills).
+        leases: optional :class:`~repro.store.cas.LeaseTable` giving the
+            fan-out cross-process execution exclusivity (shard workers
+            against a shared store); see
+            :func:`~repro.store.memo.supervise_instances_memoized`.
+        elastic_max: when set, claim size tracks the backlog — the
+            ``service.queue_depth`` gauge, clamped to
+            ``[batch_size, elastic_max]`` — so a deepening queue is
+            drained in larger fan-outs (fewer per-batch overheads per
+            request) while an idle service keeps small-batch latency.
+            None keeps the fixed ``batch_size``.
         idle_wait_s: how long the loop blocks waiting for work.
     """
 
@@ -66,10 +77,14 @@ class Broker:
         parallel: bool = True,
         retry=None,
         faults=None,
+        leases=None,
+        elastic_max: int | None = None,
         idle_wait_s: float = 0.1,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if elastic_max is not None and elastic_max < batch_size:
+            raise ValueError("elastic_max must be >= batch_size")
         self.queue = queue
         self.store = store
         self.ledger = ledger
@@ -82,6 +97,8 @@ class Broker:
         self.parallel = parallel
         self.retry = retry
         self.faults = faults
+        self.leases = leases
+        self.elastic_max = elastic_max
         self.idle_wait_s = idle_wait_s
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -136,13 +153,28 @@ class Broker:
 
     # -- execution -------------------------------------------------------------
 
+    def claim_size(self) -> int:
+        """The next batch's claim bound (elastic: backlog-proportional).
+
+        Elastic sizing reads the ``service.queue_depth`` gauge the queue
+        publishes on every transition — the same number ``/metrics`` and
+        the trace reports show — so pool behavior is explainable from
+        telemetry alone.
+        """
+        if self.elastic_max is None:
+            return self.batch_size
+        depth = int(self.registry.value("service.queue_depth", 0))
+        size = max(self.batch_size, min(self.elastic_max, depth))
+        self.registry.gauge("service.batch_effective", size)
+        return size
+
     def run_once(self) -> int:
         """Claim and execute one batch; returns requests resolved.
 
         Public so tests (and serial embeddings) can drive the broker
         deterministically without the background thread.
         """
-        batch = self.queue.claim(self.batch_size)
+        batch = self.queue.claim(self.claim_size())
         if not batch:
             return 0
         return self._run_batch(batch)
@@ -154,7 +186,7 @@ class Broker:
             specs, store=self.store, ledger=self.ledger, salt=self.salt,
             registry=self.registry, max_workers=self.max_workers,
             parallel=self.parallel, retry=self.retry, faults=self.faults,
-            on_failure=QUARANTINE)
+            leases=self.leases, on_failure=QUARANTINE)
         batch_s = watch.elapsed()
         self.registry.observe("service.batch_s", batch_s)
         # Quarantine records carry the per-position spec, so identity maps

@@ -1,8 +1,15 @@
-"""A small stdlib client for the scenario service HTTP API.
+"""A small stdlib client for the scenario service ``/v1`` HTTP API.
 
 ``repro submit`` is built on this; it is also the cross-process half of
 the service tests.  Only :mod:`urllib.request` — the service plane stays
 dependency-free end to end.
+
+Errors are typed off the uniform envelope's ``code`` field (see
+:mod:`repro.service.api`): :class:`QueueFullError` for ``queue_full``,
+:class:`DrainingError` for ``draining``, :class:`NotFoundError` for
+``not_found``, :class:`QuarantinedError` for ``quarantined``, and
+:class:`ServiceError` for everything else (including transport
+failures, where ``status`` is 0 and ``code`` empty).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import urllib.request
 from typing import Any
 
 from ..obs.registry import Stopwatch
+from .api import API_PREFIX, DRAINING, NOT_FOUND, QUARANTINED, QUEUE_FULL
 
 
 class ServiceError(RuntimeError):
@@ -21,27 +29,94 @@ class ServiceError(RuntimeError):
 
     Attributes:
         status: HTTP status code (0 when the connection itself failed).
+        code: the envelope's error code ("" for transport failures or
+            pre-envelope servers).
         payload: decoded JSON error body when the service sent one.
     """
 
-    def __init__(self, message: str, *, status: int = 0,
+    def __init__(self, message: str, *, status: int = 0, code: str = "",
                  payload: dict[str, Any] | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code
         self.payload = payload or {}
 
 
 class QueueFullError(ServiceError):
-    """A 429 under backpressure; honor :attr:`retry_after_s`."""
+    """429/``queue_full`` under backpressure; honor :attr:`retry_after_s`."""
 
     def __init__(self, message: str, *, retry_after_s: float,
+                 status: int = 429,
                  payload: dict[str, Any] | None = None) -> None:
-        super().__init__(message, status=429, payload=payload)
+        super().__init__(message, status=status, code=QUEUE_FULL,
+                         payload=payload)
         self.retry_after_s = retry_after_s
 
 
+class DrainingError(ServiceError):
+    """503/``draining``: the service is shutting down; retry elsewhere."""
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None,
+                 status: int = 503,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message, status=status, code=DRAINING,
+                         payload=payload)
+        self.retry_after_s = retry_after_s
+
+
+class NotFoundError(ServiceError):
+    """404/``not_found``: unknown request id or route."""
+
+    def __init__(self, message: str, *, status: int = 404,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message, status=status, code=NOT_FOUND,
+                         payload=payload)
+
+
+class QuarantinedError(ServiceError):
+    """500/``quarantined``: execution exhausted its retry budget."""
+
+    def __init__(self, message: str, *, status: int = 500,
+                 payload: dict[str, Any] | None = None) -> None:
+        super().__init__(message, status=status, code=QUARANTINED,
+                         payload=payload)
+
+
+def error_from_payload(status: int,
+                       payload: dict[str, Any]) -> ServiceError:
+    """Map an error envelope to the matching typed exception.
+
+    Understands both the ``/v1`` envelope (``{"error": {"code": ...}}``)
+    and the pre-envelope flat shape (``{"error": "message"}``) so the
+    client still renders something useful against an old server.
+    """
+    error = payload.get("error")
+    if isinstance(error, dict):
+        code = str(error.get("code", ""))
+        message = str(error.get("message", f"HTTP {status}"))
+        retry_after_s = error.get("retry_after_s")
+    else:
+        code = ""
+        message = str(error) if error else f"HTTP {status}"
+        retry_after_s = payload.get("retry_after_s")
+    if code == QUEUE_FULL or (not code and status == 429):
+        return QueueFullError(
+            message, status=status, payload=payload,
+            retry_after_s=float(retry_after_s or 1.0))
+    if code == DRAINING:
+        return DrainingError(
+            message, status=status, payload=payload,
+            retry_after_s=None if retry_after_s is None
+            else float(retry_after_s))
+    if code == NOT_FOUND:
+        return NotFoundError(message, status=status, payload=payload)
+    if code == QUARANTINED:
+        return QuarantinedError(message, status=status, payload=payload)
+    return ServiceError(message, status=status, code=code, payload=payload)
+
+
 class ServiceClient:
-    """Thin JSON client bound to one service base URL."""
+    """Thin JSON client bound to one service base URL (speaks ``/v1``)."""
 
     def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
@@ -51,7 +126,7 @@ class ServiceClient:
                  body: dict[str, Any] | None = None) -> dict[str, Any]:
         data = None if body is None else json.dumps(body).encode()
         req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
+            self.base_url + API_PREFIX + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
         try:
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
@@ -61,14 +136,7 @@ class ServiceClient:
                 payload = json.loads(exc.read() or b"{}")
             except json.JSONDecodeError:
                 payload = {}
-            message = payload.get("error", f"HTTP {exc.code}")
-            if exc.code == 429:
-                raise QueueFullError(
-                    message, payload=payload,
-                    retry_after_s=float(payload.get("retry_after_s", 1.0)),
-                ) from None
-            raise ServiceError(message, status=exc.code,
-                               payload=payload) from None
+            raise error_from_payload(exc.code, payload) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"service unreachable at {self.base_url}: {exc.reason}"
@@ -79,14 +147,32 @@ class ServiceClient:
     def submit(self, scenario: dict[str, Any]) -> dict[str, Any]:
         """POST a scenario; returns ``{id, key, status, depth}``.
 
-        Raises :class:`QueueFullError` on 429 and :class:`ServiceError`
-        on any other non-2xx (400 validation, 503 draining, ...).
+        Raises :class:`QueueFullError` on ``queue_full``,
+        :class:`DrainingError` on ``draining``, and
+        :class:`ServiceError` on any other non-2xx (400 validation, ...).
         """
         return self._request("POST", "/scenarios", scenario)
 
     def status(self, request_id: str) -> dict[str, Any]:
         """GET one request's status view."""
         return self._request("GET", f"/scenarios/{request_id}")
+
+    def list(self, *, state: str | None = None, limit: int | None = None,
+             cursor: str | None = None) -> dict[str, Any]:
+        """GET a page of tracked requests.
+
+        Returns ``{"scenarios": [...], "next_cursor": ..., "count": n}``;
+        pass the returned ``next_cursor`` back to continue.
+        """
+        params = []
+        if state is not None:
+            params.append(f"state={state}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if cursor is not None:
+            params.append(f"cursor={cursor}")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._request("GET", "/scenarios" + suffix)
 
     def wait(self, request_id: str, *, timeout_s: float = 300.0,
              poll_s: float = 0.2) -> dict[str, Any]:
@@ -106,9 +192,9 @@ class ServiceClient:
             time.sleep(poll_s)
 
     def health(self) -> dict[str, Any]:
-        """GET ``/healthz``."""
+        """GET ``/v1/healthz``."""
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict[str, Any]:
-        """GET ``/metrics`` (flat registry snapshot)."""
+        """GET ``/v1/metrics`` (flat registry snapshot)."""
         return self._request("GET", "/metrics")

@@ -136,6 +136,8 @@ class ScenarioQueue:
         retry_after_hint_s: float = 0.5,
         max_finished: int = 4096,
         metrics: MetricsRegistry | None = None,
+        rid_prefix: str = "",
+        on_terminal=None,
     ) -> None:
         """Args:
             capacity: maximum distinct queued entries (running entries and
@@ -148,6 +150,13 @@ class ScenarioQueue:
                 (oldest are evicted beyond this).
             metrics: the ``service.*`` sink (a private registry when
                 omitted).
+            rid_prefix: prepended to every request id.  Shard workers use
+                ``"s<k>-"`` so ids are globally unique across a fleet and
+                the router can address the owning shard from the id alone.
+            on_terminal: optional callback invoked with each
+                :class:`RequestRecord` as it reaches a terminal state
+                (the shard worker's durable spool hook); exceptions are
+                swallowed — spooling is best-effort, resolution is not.
         """
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -157,6 +166,8 @@ class ScenarioQueue:
         self.aging_every = aging_every
         self.retry_after_hint_s = retry_after_hint_s
         self.max_finished = max_finished
+        self.rid_prefix = rid_prefix
+        self.on_terminal = on_terminal
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
@@ -236,6 +247,7 @@ class ScenarioQueue:
             rec.event.set()
             self._records[rid] = rec
             self._finished.append(rid)
+            self._spool_locked(rec)
             self.metrics.inc("service.admitted")
             self.metrics.inc("service.completed")
             self.metrics.observe("service.request_s", rec.total_s)
@@ -293,7 +305,16 @@ class ScenarioQueue:
 
     def _next_rid_locked(self) -> str:
         self._rid += 1
-        return f"r{self._rid:06d}"
+        return f"{self.rid_prefix}r{self._rid:06d}"
+
+    def _spool_locked(self, rec: RequestRecord) -> None:
+        """Hand one terminal record to the spool hook (best effort)."""
+        if self.on_terminal is None:
+            return
+        try:
+            self.on_terminal(rec)
+        except Exception:  # noqa: BLE001 — durability must not block resolution
+            self.metrics.inc("service.spool_errors")
 
     # -- scheduling ------------------------------------------------------------
 
@@ -376,6 +397,7 @@ class ScenarioQueue:
                 rec.total_s = rec.clock.elapsed()
                 self.metrics.observe("service.request_s", rec.total_s)
                 self._finished.append(rid)
+                self._spool_locked(rec)
             counter = "completed" if state == DONE else state
             self.metrics.inc(f"service.{counter}", len(entry.request_ids))
             while len(self._finished) > self.max_finished:
@@ -390,6 +412,41 @@ class ScenarioQueue:
         """The tracked record (live object; terminal ones never mutate)."""
         with self._lock:
             return self._records.get(request_id)
+
+    def list_records(
+        self,
+        *,
+        state: str | None = None,
+        limit: int = 50,
+        cursor: str | None = None,
+    ) -> tuple[list[RequestRecord], str | None]:
+        """Enumerate tracked requests in request-id order, paginated.
+
+        Keyset pagination: ``cursor`` is the last id of the previous page
+        and the next page starts strictly after it (ids are fixed-width,
+        so string order is admission order).  Returns the page and the
+        cursor for the next one (None when this page exhausts the
+        registry).  Records admitted behind an old cursor are skipped —
+        the standard keyset caveat for a mutating set.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        with self._lock:
+            ids = sorted(self._records)
+            page: list[RequestRecord] = []
+            more = False
+            for rid in ids:
+                if cursor is not None and rid <= cursor:
+                    continue
+                rec = self._records[rid]
+                if state is not None and rec.state != state:
+                    continue
+                if len(page) == limit:
+                    more = True
+                    break
+                page.append(rec)
+            next_cursor = page[-1].request_id if page and more else None
+            return page, next_cursor
 
     def wait(self, request_id: str,
              timeout_s: float | None = None) -> RequestRecord | None:

@@ -1,91 +1,87 @@
-"""The HTTP front door: a stdlib JSON API over the scenario service.
+"""The single-process HTTP front door over the scenario service.
 
 One :class:`ScenarioService` composes the admission queue and the broker;
-one :class:`ScenarioServer` (a ``ThreadingHTTPServer``) exposes it:
+one :class:`ScenarioServer` (a ``ThreadingHTTPServer``) exposes it through
+the versioned surface declared in :mod:`repro.service.api`:
 
-- ``POST /scenarios`` — submit a scenario; ``202`` with the request id
-  (``status`` is ``"queued"`` or ``"coalesced"``), ``429`` +
-  ``Retry-After`` under backpressure, ``503`` while draining.
-- ``GET /scenarios/<id>`` — poll a request; terminal responses carry the
-  result payload (``done``) or the triage error (``failed`` /
+- ``POST /v1/scenarios`` — submit a scenario; ``202`` with the request id
+  (``status`` is ``"queued"``, ``"coalesced"``, or ``"done"`` for a
+  surrogate-resolved answer), ``429``/``queue_full`` under backpressure,
+  ``503``/``draining`` while shutting down.
+- ``GET /v1/scenarios/<id>`` — poll a request; terminal responses carry
+  the result payload (``done``) or the triage error (``failed`` /
   ``cancelled``).
-- ``GET /healthz`` — liveness plus queue depth and drain state.
-- ``GET /metrics`` — flat JSON snapshot of the obs registry (``service.*``,
-  ``memo.*``, ``retry.*``, ``store.*``, worker telemetry).
+- ``GET /v1/scenarios?state=&limit=&cursor=`` — enumerate tracked
+  requests (keyset pagination over the request registry).
+- ``GET /v1/healthz`` — liveness plus queue depth and drain state.
+- ``GET /v1/metrics`` — flat JSON snapshot of the obs registry
+  (``service.*``, ``memo.*``, ``retry.*``, ``store.*``, worker telemetry).
 
-Handler threads only touch the lock-guarded queue; all execution stays on
-the broker thread.  Shutdown is graceful by default: stop admitting,
-finish everything queued, then stop the broker — a request accepted with
-``202`` is never silently dropped.
+The unversioned paths of the first release still answer as deprecated
+aliases (same body, ``Deprecation`` header).  Handler threads only touch
+the lock-guarded queue; all execution stays on the broker thread.
+Shutdown is graceful by default: stop admitting, finish everything
+queued, then stop the broker — a request accepted with ``202`` is never
+silently dropped.
 """
 
 from __future__ import annotations
 
-import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 from typing import Any
 
 from ..core.parallel import InstanceSpec
 from ..obs.registry import MetricsRegistry
-from ..params import DEFAULT_SCALE
-from ..synthpop.regions import REGIONS
+from .api import (
+    DRAINING,
+    MAX_DAYS,
+    MAX_SCALE,
+    NOT_FOUND,
+    QUEUE_FULL,
+    ApiError,
+    BadRequest,
+    JsonApiHandler,
+    parse_list_query,
+    spec_from_request,
+)
 from .broker import Broker
-from .queue import DONE, FAILED, Admission, RequestRecord, ScenarioQueue
+from .queue import (
+    DONE,
+    FAILED,
+    TERMINAL_STATES,
+    Admission,
+    RequestRecord,
+    ScenarioQueue,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_DAYS",
+    "MAX_SCALE",
+    "BadRequest",
+    "ScenarioHandler",
+    "ScenarioServer",
+    "ScenarioService",
+    "make_server",
+    "record_view",
+    "spec_from_request",
+]
 
 #: Default TCP port of the service (``repro serve`` / ``repro submit``).
 DEFAULT_PORT = 8377
 
-#: Bounds a submitted scenario must respect (tiny DoS hygiene, and the
-#: reproduction's scales are meaningless outside these ranges anyway).
-MAX_DAYS = 3650
-MAX_SCALE = 1.0
+#: States a listing may filter on.
+LISTABLE_STATES = frozenset(
+    {"queued", "running"} | set(TERMINAL_STATES))
 
 
-class BadRequest(ValueError):
-    """A submission the API rejects with a 400."""
+def record_view(rec: RequestRecord, *,
+                include_result: bool = True) -> dict[str, Any]:
+    """JSON-safe status view of one tracked request.
 
-
-def spec_from_request(body: dict[str, Any]) -> tuple[InstanceSpec, int]:
-    """Validate a ``POST /scenarios`` body into (spec, priority).
-
-    Expected fields: ``region`` (required), ``params`` (mapping),
-    ``days``, ``scale``, ``seed``, ``asset_seed``, ``priority``.
+    ``include_result=False`` gives the summary shape the listing endpoint
+    returns (payload arrays omitted; everything else identical).
     """
-    if not isinstance(body, dict):
-        raise BadRequest("body must be a JSON object")
-    region = body.get("region")
-    if not isinstance(region, str) or region.upper() not in REGIONS:
-        raise BadRequest(f"unknown region {region!r}")
-    region = region.upper()
-    params = body.get("params", {})
-    if not isinstance(params, dict):
-        raise BadRequest("params must be an object")
-    for name, value in params.items():
-        if not isinstance(name, str):
-            raise BadRequest("param names must be strings")
-        if not isinstance(value, (bool, int, float, str)):
-            raise BadRequest(f"unsupported param type for {name!r}")
-    try:
-        days = int(body.get("days", 120))
-        scale = float(body.get("scale", DEFAULT_SCALE))
-        seed = int(body.get("seed", 0))
-        asset_seed = int(body.get("asset_seed", seed))
-        priority = int(body.get("priority", 0))
-    except (TypeError, ValueError):
-        raise BadRequest("days/seed/asset_seed/priority must be integers, "
-                         "scale a float")
-    if not 1 <= days <= MAX_DAYS:
-        raise BadRequest(f"days must be in [1, {MAX_DAYS}]")
-    if not 0.0 < scale <= MAX_SCALE:
-        raise BadRequest(f"scale must be in (0, {MAX_SCALE}]")
-    spec = InstanceSpec(
-        region_code=region, params=dict(params), n_days=days, scale=scale,
-        seed=seed, label=f"svc-{region}", asset_seed=asset_seed)
-    return spec, priority
-
-
-def record_view(rec: RequestRecord) -> dict[str, Any]:
-    """JSON-safe status view of one tracked request."""
     out: dict[str, Any] = {
         "id": rec.request_id,
         "state": rec.state,
@@ -97,7 +93,7 @@ def record_view(rec: RequestRecord) -> dict[str, Any]:
         out["wait_s"] = rec.wait_s
     if rec.total_s is not None:
         out["total_s"] = rec.total_s
-    if rec.state == DONE and rec.result is not None:
+    if include_result and rec.state == DONE and rec.result is not None:
         # .tolist() round-trips float64 exactly through JSON (repr-based),
         # which is what keeps coalesced payloads bit-identical end to end.
         out["result"] = {k: v.tolist() for k, v in rec.result.items()}
@@ -118,6 +114,11 @@ class ScenarioService:
     journals spec-carrying completions to the store's corpus ledger,
     every exact run becomes training data for the next retrain (the
     active-learning loop).
+
+    A shard worker configures three extras: ``rid_prefix`` (globally
+    unique ids a router can address), ``on_terminal`` (the durable spool
+    that survives the process), and ``leases`` (the cross-process
+    in-flight table that keeps coalescing correct fleet-wide).
     """
 
     def __init__(
@@ -136,6 +137,10 @@ class ScenarioService:
         retry=None,
         faults=None,
         surrogate=None,
+        leases=None,
+        elastic_max: int | None = None,
+        rid_prefix: str = "",
+        on_terminal=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.store = store
@@ -157,12 +162,14 @@ class ScenarioService:
             ledger = RunLedger(path)
         self.queue = ScenarioQueue(capacity=capacity,
                                    aging_every=aging_every,
-                                   metrics=self.registry)
+                                   metrics=self.registry,
+                                   rid_prefix=rid_prefix,
+                                   on_terminal=on_terminal)
         self.broker = Broker(
             self.queue, store=store, ledger=ledger, salt=salt,
             registry=self.registry, tracer=tracer, batch_size=batch_size,
             max_workers=max_workers, parallel=parallel, retry=retry,
-            faults=faults)
+            faults=faults, leases=leases, elastic_max=elastic_max)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -186,17 +193,22 @@ class ScenarioService:
         gate and coalesce onto the exact computation — joining an
         in-flight run is free and bit-exact, strictly better than an
         emulated answer.
-        """
-        if self.surrogate is not None and not self.queue.closed:
-            from ..store.keys import instance_key
 
-            key = instance_key(spec, salt=self.broker.salt)
+        The tracked key is the *broker-salted* cache key — the same key
+        the CAS blob, the lease file, and the router's shard hash use —
+        so one identifier names a scenario across every layer (and the
+        spool fallback can rebuild results from the store by key alone).
+        """
+        from ..store.keys import instance_key
+
+        key = instance_key(spec, salt=self.broker.salt)
+        if self.surrogate is not None and not self.queue.closed:
             if not self.queue.in_flight(key):
                 payload = self.surrogate.try_answer(spec)
                 if payload is not None:
                     return self.queue.admit_resolved(spec, key=key,
                                                      result=payload)
-        return self.queue.submit(spec, priority=priority)
+        return self.queue.submit(spec, priority=priority, key=key)
 
     def status(self, request_id: str) -> dict[str, Any] | None:
         """JSON-safe view of one request, or None when unknown."""
@@ -209,8 +221,17 @@ class ScenarioService:
         rec = self.queue.wait(request_id, timeout_s)
         return None if rec is None else record_view(rec)
 
+    def list(self, *, state: str | None = None, limit: int = 50,
+             cursor: str | None = None) -> dict[str, Any]:
+        """The listing page: summary views + keyset cursor."""
+        records, next_cursor = self.queue.list_records(
+            state=state, limit=limit, cursor=cursor)
+        views = [record_view(rec, include_result=False) for rec in records]
+        return {"scenarios": views, "next_cursor": next_cursor,
+                "count": len(views)}
+
     def health(self) -> dict[str, Any]:
-        """Liveness payload for ``/healthz``."""
+        """Liveness payload for ``/v1/healthz``."""
         out = {
             "status": "draining" if self.queue.closed else "ok",
             "queue_depth": self.queue.depth(),
@@ -226,7 +247,7 @@ class ScenarioService:
         return out
 
     def metrics_snapshot(self) -> dict[str, Any]:
-        """Flat registry snapshot for ``/metrics``."""
+        """Flat registry snapshot for ``/v1/metrics``."""
         return self.broker.metrics_view().snapshot()
 
 
@@ -241,77 +262,49 @@ class ScenarioServer(ThreadingHTTPServer):
         self.service = service
 
 
-class ScenarioHandler(BaseHTTPRequestHandler):
-    """Routes ``/scenarios``, ``/healthz`` and ``/metrics``."""
-
-    server_version = "repro-service/1.0"
-    protocol_version = "HTTP/1.1"
+class ScenarioHandler(JsonApiHandler):
+    """The ``/v1`` surface bound to one in-process service."""
 
     @property
     def service(self) -> ScenarioService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, fmt: str, *args: Any) -> None:
-        """Silenced: the obs registry is the service's telemetry."""
+    # -- routes (dispatched through the api table) -----------------------------
 
-    def _send(self, code: int, payload: dict[str, Any],
-              headers: dict[str, str] | None = None) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+    def api_healthz(self, *, query) -> tuple[int, dict[str, Any]]:
+        """Liveness + queue depth + drain state."""
+        return 200, self.service.health()
 
-    # -- routes ----------------------------------------------------------------
+    def api_metrics(self, *, query) -> tuple[int, dict[str, Any]]:
+        """Flat obs-registry snapshot."""
+        return 200, self.service.metrics_snapshot()
 
-    def do_GET(self) -> None:  # noqa: N802 — http.server API
-        """Route /healthz, /metrics and /scenarios/<id>."""
-        path = self.path.rstrip("/") or "/"
-        if path == "/healthz":
-            self._send(200, self.service.health())
-        elif path == "/metrics":
-            self._send(200, self.service.metrics_snapshot())
-        elif path.startswith("/scenarios/"):
-            request_id = path[len("/scenarios/"):]
-            view = self.service.status(request_id)
-            if view is None:
-                self._send(404, {"error": f"unknown request {request_id!r}"})
-            else:
-                self._send(200, view)
-        else:
-            self._send(404, {"error": f"no route for {self.path!r}"})
+    def api_get_scenario(self, *, query,
+                         request_id: str) -> tuple[int, dict[str, Any]]:
+        """Poll one request (enveloped 404 when unknown)."""
+        view = self.service.status(request_id)
+        if view is None:
+            raise ApiError(NOT_FOUND, f"unknown request {request_id!r}")
+        return 200, view
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
-        """Route POST /scenarios: validate, admit, answer."""
-        if self.path.rstrip("/") != "/scenarios":
-            self._send(404, {"error": f"no route for {self.path!r}"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            body = json.loads(self.rfile.read(length) or b"{}")
-            spec, priority = spec_from_request(body)
-        except (json.JSONDecodeError, BadRequest) as exc:
-            self._send(400, {"error": str(exc)})
-            return
+    def api_list_scenarios(self, *, query) -> tuple[int, dict[str, Any]]:
+        """Keyset-paginated listing of tracked requests."""
+        state, limit, cursor = parse_list_query(query, LISTABLE_STATES)
+        return 200, self.service.list(state=state, limit=limit,
+                                      cursor=cursor)
+
+    def api_submit_scenario(self, *, query) -> tuple[int, dict[str, Any]]:
+        """Admit one scenario; 202, or an enveloped 429/503."""
+        spec, priority = spec_from_request(self.read_json_body())
         adm = self.service.submit(spec, priority=priority)
         if not adm.admitted:
             if adm.reason == "draining":
-                self._send(503, {"error": "service is draining",
-                                 "status": "rejected"},
-                           headers={"Retry-After": "60"})
-            else:
-                hint = adm.retry_after_s or 1.0
-                self._send(429, {"error": "queue full",
-                                 "status": "rejected",
-                                 "retry_after_s": hint,
-                                 "depth": adm.depth},
-                           headers={"Retry-After": f"{hint:.3f}"})
-            return
-        self._send(202, {"id": adm.request_id, "key": adm.key,
-                         "status": adm.status, "depth": adm.depth})
+                raise ApiError(DRAINING, "service is draining",
+                               retry_after_s=60.0)
+            raise ApiError(QUEUE_FULL, "queue full",
+                           retry_after_s=adm.retry_after_s or 1.0)
+        return 202, {"id": adm.request_id, "key": adm.key,
+                     "status": adm.status, "depth": adm.depth}
 
 
 def make_server(service: ScenarioService, host: str = "127.0.0.1",

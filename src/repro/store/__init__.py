@@ -11,7 +11,16 @@ subsystem is the reproduction's durability layer:
 - :mod:`~repro.store.memo` — cache-aware instance execution.
 """
 
-from .cas import CASStats, ContentStore, StoreStats, default_store
+from .cas import (
+    LEASE_DONE,
+    LEASE_TIMEOUT,
+    LEASE_VACATED,
+    CASStats,
+    ContentStore,
+    LeaseTable,
+    StoreStats,
+    default_store,
+)
 from .keys import (
     INSTANCE_NAMESPACE,
     SPEED_ONLY_PARAMS,
@@ -32,6 +41,10 @@ __all__ = [
     "CASStats",
     "ContentStore",
     "INSTANCE_NAMESPACE",
+    "LEASE_DONE",
+    "LEASE_TIMEOUT",
+    "LEASE_VACATED",
+    "LeaseTable",
     "LedgerReplay",
     "RunLedger",
     "SPEED_ONLY_PARAMS",

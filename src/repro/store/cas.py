@@ -17,6 +17,13 @@ pipeline actually meets:
 - **Disk growth** — an optional size bound is enforced by LRU eviction on
   access time (reads touch the blob's mtime), with eviction counted in the
   stats alongside hits and misses.
+- **Concurrent executors** — a :class:`LeaseTable` on the store directory
+  is the cross-process in-flight table: before executing a miss, a worker
+  process acquires a per-key lease (atomic ``O_EXCL`` create), so two
+  processes racing toward the same key run it once — the loser waits for
+  the winner's blob instead of recomputing.  Leases are crash-tolerant:
+  a lease whose owner pid is dead, whose TTL has lapsed, or whose record
+  is torn mid-write is breakable by any contender.
 """
 
 from __future__ import annotations
@@ -25,12 +32,13 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 import zipfile
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -361,6 +369,175 @@ class ContentStore:
                 f"puts {int(m.value('store.puts'))} "
                 f"evictions {int(m.value('store.evictions'))} "
                 f"corrupt {int(m.value('store.corrupt'))}")
+
+
+#: Outcomes of :meth:`LeaseTable.wait`.
+LEASE_DONE = "done"  #: the awaited artefact appeared
+LEASE_VACATED = "vacated"  #: the holder released (or was broken) first
+LEASE_TIMEOUT = "timeout"  #: neither happened within the deadline
+
+
+@dataclass
+class LeaseTable:
+    """Cross-process in-flight execution table on a shared directory.
+
+    One lease file per content key under ``root``; holding the lease means
+    "I am computing this key right now".  Acquisition is an atomic
+    ``O_CREAT | O_EXCL`` create, so exactly one process wins a race.  The
+    table is the service plane's cross-shard coalescing primitive: shard
+    workers (and any memoized fan-out pointed at the same store) acquire
+    before executing a miss, and contenders that lose the race wait for
+    the winner's blob instead of duplicating work.
+
+    Liveness never depends on the holder behaving: a lease is *stale* —
+    and breakable by anyone — when its owner pid is dead (same-host
+    check), its TTL has lapsed, or its record is torn/unparseable (the
+    crash-mid-write case, handled exactly like a torn ledger line).
+
+    Attributes:
+        root: the lease directory (shared across processes).
+        owner: identity stamped into acquired leases (diagnostics).
+        ttl_s: staleness bound on lease age.
+        poll_s: sleep between :meth:`wait` checks.
+        metrics: ``lease.*`` counters (acquired/busy/broken/waits).
+    """
+
+    root: Path
+    owner: str = ""
+    ttl_s: float = 120.0
+    poll_s: float = 0.01
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not self.owner:
+            self.owner = f"pid:{os.getpid()}"
+
+    def path_of(self, key: str) -> Path:
+        """On-disk lease file for ``key``."""
+        return self.root / f"{key}.lease"
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(self, key: str) -> bool:
+        """Try to take the lease for ``key``; True when this process owns it.
+
+        A held-but-stale lease is broken and re-contended (bounded
+        retries, so two breakers racing cannot loop forever).  The
+        record is published atomically — written in full to a private
+        temp file, then hard-linked into place — so a contender never
+        observes a half-written lease (which would read as torn, i.e.
+        stale, and let two contenders win the same race).
+        """
+        record = json.dumps({"owner": self.owner, "pid": os.getpid(),
+                             "ts": time.time()})
+        path = self.path_of(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(record)
+                fh.flush()
+            for _ in range(8):
+                try:
+                    os.link(tmp, path)  # atomic: fails if the lease exists
+                except FileExistsError:
+                    holder = self.holder(key)
+                    if holder is None:
+                        continue  # released between exists and read: re-race
+                    if self._stale(holder):
+                        self._break(key)
+                        continue
+                    self.metrics.inc("lease.busy")
+                    return False
+                self.metrics.inc("lease.acquired")
+                return True
+            self.metrics.inc("lease.busy")
+            return False
+        finally:
+            os.unlink(tmp)
+
+    def release(self, key: str) -> bool:
+        """Drop the lease if this table's owner holds it (lock hygiene:
+        never unlink another process's live lease)."""
+        holder = self.holder(key)
+        if holder is None or holder.get("owner") != self.owner:
+            return False
+        self.path_of(key).unlink(missing_ok=True)
+        return True
+
+    def _break(self, key: str) -> None:
+        """Remove a stale lease (best effort; breakers may race)."""
+        self.metrics.inc("lease.broken")
+        self.path_of(key).unlink(missing_ok=True)
+
+    # -- inspection ------------------------------------------------------------
+
+    def holder(self, key: str) -> dict | None:
+        """The lease record, ``{}`` when torn/unparseable, None when free."""
+        try:
+            text = self.path_of(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return {}
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return {}  # torn mid-write: breakable, like a torn ledger line
+        return record if isinstance(record, dict) else {}
+
+    def held(self, key: str) -> bool:
+        """Whether a live (non-stale) lease exists for ``key``."""
+        holder = self.holder(key)
+        return holder is not None and not self._stale(holder)
+
+    def _stale(self, record: dict) -> bool:
+        """A lease nobody should keep waiting on."""
+        pid = record.get("pid")
+        ts = record.get("ts")
+        if not isinstance(pid, int) or not isinstance(ts, (int, float)):
+            return True  # torn or malformed record
+        if time.time() - ts > self.ttl_s:
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner died without releasing
+        except PermissionError:  # pragma: no cover - other-uid process
+            pass
+        return False
+
+    # -- waiting ---------------------------------------------------------------
+
+    def wait(self, key: str, done: Callable[[], bool], *,
+             timeout_s: float | None = None) -> str:
+        """Block until ``done()`` or the lease vacates; returns the outcome.
+
+        ``LEASE_DONE`` when the predicate turned true (the usual case: the
+        holder published its blob), ``LEASE_VACATED`` when the lease was
+        released or broken without the predicate turning true (the holder
+        failed — the caller should contend for the lease itself), or
+        ``LEASE_TIMEOUT``.
+        """
+        watch_t0 = time.time()
+        self.metrics.inc("lease.waits")
+        while True:
+            if done():
+                self.metrics.observe("lease.wait_s", time.time() - watch_t0)
+                return LEASE_DONE
+            holder = self.holder(key)
+            if holder is None:
+                self.metrics.observe("lease.wait_s", time.time() - watch_t0)
+                return LEASE_VACATED
+            if self._stale(holder):
+                self._break(key)
+                self.metrics.observe("lease.wait_s", time.time() - watch_t0)
+                return LEASE_VACATED
+            if timeout_s is not None and time.time() - watch_t0 > timeout_s:
+                self.metrics.observe("lease.wait_s", time.time() - watch_t0)
+                return LEASE_TIMEOUT
+            time.sleep(self.poll_s)
 
 
 def default_store() -> ContentStore:

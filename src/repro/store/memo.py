@@ -30,8 +30,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..obs.registry import MetricsRegistry, Stopwatch, global_registry
+from ..resilience.retry import QuarantineRecord
 from ..resilience.supervisor import QUARANTINE, RAISE, FanoutResult
-from .cas import ContentStore
+from .cas import LEASE_DONE, LEASE_TIMEOUT, ContentStore, LeaseTable
 from .keys import INSTANCE_NAMESPACE, instance_key
 from .ledger import RunLedger
 
@@ -62,6 +63,67 @@ def outcome_from_payload(
     )
 
 
+def _resolve_remote(
+    spec: "InstanceSpec",
+    key: str,
+    *,
+    store: ContentStore,
+    leases: LeaseTable,
+    ledger: RunLedger | None,
+    registry: MetricsRegistry,
+    retry,
+    faults,
+    timeout_s: float,
+) -> tuple["InstanceOutcome | None", QuarantineRecord | None]:
+    """Resolve a miss whose lease another process holds.
+
+    The happy path is pure coalescing: wait for the remote executor's
+    blob and serve it (bit-identical — the blob *is* the result).  If the
+    lease vacates without a blob (the holder crashed or quarantined the
+    spec), contend for the lease and execute locally.  Bounded attempts:
+    the loop cannot live-lock even under adversarial lease churn.
+    """
+    from ..core.parallel import supervise_instances
+
+    for _ in range(3):
+        state = leases.wait(key, lambda: store.contains(key),
+                            timeout_s=timeout_s)
+        if state != LEASE_TIMEOUT:
+            payload = store.get(key)
+            if payload is not None:
+                registry.inc("memo.remote_hits")
+                if ledger is not None:
+                    ledger.cache_hit(key, label=spec.label, remote=True)
+                return outcome_from_payload(spec, payload), None
+        if state == LEASE_TIMEOUT:
+            break
+        # LEASE_VACATED without a blob (or a corrupt blob read as a
+        # miss): the remote executor failed — run it here.
+        if not leases.acquire(key):
+            continue  # somebody else got there first; wait again
+        try:
+            res = supervise_instances(
+                [spec], parallel=False, registry=registry, retry=retry,
+                faults=faults, ledger=ledger, on_failure=QUARANTINE)
+            outcome = res.results[0]
+            if outcome is None:
+                return None, res.quarantined[0]
+            store.put(key, outcome_payload(outcome),
+                      family=INSTANCE_NAMESPACE)
+            if ledger is not None:
+                from ..surrogate.corpus import spec_record
+
+                ledger.instance_completed(key, label=outcome.spec.label,
+                                          spec=spec_record(outcome.spec))
+            return outcome, None
+        finally:
+            leases.release(key)
+    return None, QuarantineRecord(
+        key=spec.label or key[:12], item=spec,
+        error=f"gave up waiting on remote lease for {key[:12]}",
+        kind="lease", attempts=1)
+
+
 def supervise_instances_memoized(
     specs: list["InstanceSpec"],
     *,
@@ -74,6 +136,8 @@ def supervise_instances_memoized(
     retry=None,
     faults=None,
     on_failure: str = QUARANTINE,
+    leases: LeaseTable | None = None,
+    lease_timeout_s: float = 300.0,
 ) -> FanoutResult:
     """Execute instances through the result store, under supervision.
 
@@ -107,6 +171,13 @@ def supervise_instances_memoized(
             threaded to the workers (chaos testing); the store's own
             ``cas.corrupt`` site is configured on the store handle.
         on_failure: ``"quarantine"`` (default) or ``"raise"``.
+        leases: optional :class:`~repro.store.cas.LeaseTable` making the
+            execution of misses exclusive *across processes*: a miss whose
+            lease another live process holds is not executed here — we
+            wait for that process's blob instead (cross-process
+            coalescing), falling back to local execution if the holder
+            vanishes without publishing.
+        lease_timeout_s: per-key bound on waiting for a remote executor.
 
     Returns:
         A :class:`~repro.resilience.supervisor.FanoutResult` whose
@@ -160,29 +231,73 @@ def supervise_instances_memoized(
 
     from ..surrogate.corpus import spec_record
 
-    exec_idx = sorted(exec_of.values())
-    res = supervise_instances(
-        [specs[i] for i in exec_idx], parallel=parallel,
-        max_workers=max_workers, registry=reg, retry=retry, faults=faults,
-        ledger=ledger, on_failure=on_failure)
     base_of: dict[str, "InstanceOutcome"] = {}
+    # Cross-process exclusivity: a miss whose lease another live process
+    # holds becomes a *remote* key — that process is computing it right
+    # now, and waiting for its blob is strictly cheaper than re-running.
+    remote_of: dict[str, int] = {}
+    owned: list[str] = []
+    if leases is not None:
+        for key in list(exec_of):
+            if not leases.acquire(key):
+                remote_of[key] = exec_of.pop(key)
+                continue
+            # Double-check under the lease: another process may have
+            # executed, published, *and released* between our store
+            # lookup above and this acquire (on a busy host that window
+            # is easily tens of milliseconds) — re-running would be
+            # wasted work, not a correctness bug, but "executes once
+            # fleet-wide" is the contract.
+            payload = store.get(key)
+            if payload is None:
+                owned.append(key)
+                continue
+            leases.release(key)
+            i = exec_of.pop(key)
+            base_of[key] = outcome_from_payload(specs[i], payload)
+            reg.inc("memo.remote_hits")
+            if ledger is not None:
+                ledger.cache_hit(key, label=specs[i].label, remote=True)
+
+    exec_idx = sorted(exec_of.values())
     # Quarantine records arrive sorted by position, so pairing them with
     # the None slots of the execution results is a simple in-order walk.
     failed_of: dict[str, object] = {}
-    qiter = iter(res.quarantined)
-    for i, outcome in zip(exec_idx, res.results):
-        if outcome is None:
-            failed_of[keys[i]] = next(qiter)
-            continue
-        store.put(keys[i], outcome_payload(outcome),
-                  family=INSTANCE_NAMESPACE)
-        base_of[keys[i]] = outcome
-        if ledger is not None:
-            # Completion events carry the spec itself: the surrogate
-            # corpus builder replays these to recover (features, output)
-            # training pairs — CAS keys alone are not invertible.
-            ledger.instance_completed(keys[i], label=outcome.spec.label,
-                                      spec=spec_record(outcome.spec))
+    try:
+        res = supervise_instances(
+            [specs[i] for i in exec_idx], parallel=parallel,
+            max_workers=max_workers, registry=reg, retry=retry,
+            faults=faults, ledger=ledger, on_failure=on_failure)
+        qiter = iter(res.quarantined)
+        for i, outcome in zip(exec_idx, res.results):
+            if outcome is None:
+                failed_of[keys[i]] = next(qiter)
+                continue
+            store.put(keys[i], outcome_payload(outcome),
+                      family=INSTANCE_NAMESPACE)
+            base_of[keys[i]] = outcome
+            if ledger is not None:
+                # Completion events carry the spec itself: the surrogate
+                # corpus builder replays these to recover (features, output)
+                # training pairs — CAS keys alone are not invertible.
+                ledger.instance_completed(keys[i], label=outcome.spec.label,
+                                          spec=spec_record(outcome.spec))
+    finally:
+        # Release *before* waiting on anyone else's keys: every process
+        # finishes its own work first, so lease waits can never form a
+        # cycle (A holding k1 while waiting on k2 held by B waiting on k1).
+        for key in owned:
+            leases.release(key)
+
+    for key, i in sorted(remote_of.items(), key=lambda kv: kv[1]):
+        outcome, rec = _resolve_remote(
+            specs[i], key, store=store, leases=leases, ledger=ledger,
+            registry=reg, retry=retry, faults=faults,
+            timeout_s=lease_timeout_s)
+        if outcome is not None:
+            base_of[key] = outcome
+        else:
+            failed_of[key] = rec
 
     quarantined = []
     for i, (spec, key) in enumerate(zip(specs, keys)):
@@ -195,6 +310,12 @@ def supervise_instances_memoized(
             rec = failed_of[key]
             quarantined.append(rec if rec.item is spec
                                else replace(rec, item=spec))
+    if quarantined and on_failure == RAISE:
+        # Local failures already raised inside the fan-out; only a remote
+        # executor's failure can reach here, and RAISE callers expect an
+        # exception, not a None position.
+        raise RuntimeError(
+            f"remote execution failed: {quarantined[0].describe()}")
     # memo.* counts are per-batch deltas; the store's cumulative session
     # counters stay on store.metrics (merging them here would double-count
     # across batches sharing a sink).
@@ -206,6 +327,8 @@ def supervise_instances_memoized(
                  for k, v in store.stats.snapshot().items()}
         if quarantined:
             extra["quarantined"] = len(quarantined)
+        if remote_of:
+            extra["remote"] = len(remote_of)
         ledger.run_completed(hits=n_hits, misses=len(exec_idx),
                              wall_s=watch.elapsed(), **extra)
     return FanoutResult(results=out, quarantined=quarantined,
@@ -224,6 +347,7 @@ def run_instances_memoized(
     registry: MetricsRegistry | None = None,
     retry=None,
     faults=None,
+    leases: LeaseTable | None = None,
 ) -> list["InstanceOutcome"]:
     """Execute instances through the result store.
 
@@ -259,5 +383,5 @@ def run_instances_memoized(
     res = supervise_instances_memoized(
         specs, store=store, ledger=ledger, salt=salt,
         max_workers=max_workers, parallel=parallel, registry=registry,
-        retry=retry, faults=faults, on_failure=RAISE)
+        retry=retry, faults=faults, on_failure=RAISE, leases=leases)
     return res.results  # type: ignore[return-value] — RAISE means no Nones
