@@ -101,6 +101,29 @@ def _resolve_ledger(args: argparse.Namespace):
     return RunLedger(Path(args.ledger))
 
 
+def _resolve_checkpoint(args: argparse.Namespace, store, *,
+                        salt: str | None = None):
+    """The checkpoint plan ``--checkpoint-every`` implies (None = off).
+
+    Snapshots ride the result store's CAS (``checkpoint/v1`` family), so
+    the plan needs a store; heartbeats land in the store-adjacent lease
+    table the shard fleet shares.
+    """
+    every = int(getattr(args, "checkpoint_every", 0) or 0)
+    if every <= 0:
+        return None
+    if store is None:
+        raise SystemExit(
+            "--checkpoint-every needs the result store (drop --no-cache)")
+    from .checkpoint import CheckpointPlan
+    from .service.shard import lease_dir
+
+    return CheckpointPlan(
+        store_root=str(store.root), every=every, salt=salt,
+        lease_root=str(lease_dir(store.root)),
+        ledger_path=getattr(args, "ledger", None) or None)
+
+
 def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     """The shared tracing options."""
     p.add_argument("--trace", metavar="PATH",
@@ -193,7 +216,8 @@ def _cmd_simulate_replicates(args: argparse.Namespace) -> int:
     ]
     reg = MetricsRegistry()
     outcomes = run_instances_memoized(
-        specs, store=store, ledger=ledger, parallel=False, registry=reg)
+        specs, store=store, ledger=ledger, parallel=False, registry=reg,
+        checkpoint=_resolve_checkpoint(args, store))
     rates = np.array([o.attack_rate for o in outcomes])
     finals = [int(o.confirmed[-1]) for o in outcomes]
     print(f"{args.region}: {len(outcomes)} replicates, "
@@ -235,8 +259,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         root.attrs["cached"] = cached
         if payload is None:
             from .analytics import CONFIRMED, DEATHS, summarize, target_series
-            from .core.parallel import _inject_worker_faults
-            from .core.runner import load_region_assets, run_instance
+            from .core.parallel import _inject_worker_faults, _needs_tick_loop
+            from .core.runner import (
+                load_region_assets,
+                run_instance,
+                run_instance_checkpointed,
+            )
             from .resilience import FaultPlan, RetryPolicy
             from .resilience.supervisor import supervise_map
 
@@ -247,6 +275,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                              seed=args.fault_seed)
                 except ValueError as exc:
                     raise SystemExit(f"bad --inject spec: {exc}")
+            ck_plan = _resolve_checkpoint(args, store)
 
             def _run(item, attempt, plan):
                 _inject_worker_faults(item, attempt, plan, allow_exit=False)
@@ -254,9 +283,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     assets = load_region_assets(args.region, args.scale,
                                                 args.seed)
                 with tracer.span("run-engine", attempt=attempt):
-                    result, model = run_instance(assets, params,
-                                                 n_days=args.days,
-                                                 seed=args.seed)
+                    if _needs_tick_loop(ck_plan, plan):
+                        result, model = run_instance_checkpointed(
+                            item, assets, plan=ck_plan, attempt=attempt,
+                            faults=plan, allow_exit=False, metrics=reg)
+                    else:
+                        result, model = run_instance(assets, params,
+                                                     n_days=args.days,
+                                                     seed=args.seed)
                 reg.merge(result.metrics)
                 summary = summarize(result, model)
                 return {
@@ -279,6 +313,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             payload = res.results[0]
             if store is not None:
                 store.put(key, payload)
+            if ck_plan is not None:
+                # Terminal result landed: the checkpoint chain is dead
+                # weight now — reclaim it.
+                ck_plan.manager(metrics=reg).discard(
+                    instance_key(spec, salt=ck_plan.salt))
             if ledger is not None:
                 ledger.instance_completed(key, label=spec.label)
         elif ledger is not None:
@@ -293,6 +332,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"peak day {int(payload['peak_day'])}, "
           f"confirmed {int(confirmed[-1]):,}, deaths {int(deaths[-1]):,}"
           + (" [store hit]" if cached else ""))
+    if reg.value("checkpoint.resumed"):
+        print(f"checkpoint: resumed {int(reg.value('checkpoint.resumed'))} "
+              f"attempt(s), saved "
+              f"{int(reg.value('checkpoint.ticks_saved'))} ticks of "
+              f"re-execution")
     if args.csv:
         import csv as _csv
 
@@ -381,7 +425,8 @@ def _cmd_night(args: argparse.Namespace) -> int:
                 ledger=_resolve_ledger(args), resume=resume, tracer=tracer,
                 degrade=args.degrade, min_replicates=args.min_replicates,
                 faults=faults,
-                retry=DEFAULT_RETRY_POLICY if faults is not None else None)
+                retry=DEFAULT_RETRY_POLICY if faults is not None else None,
+                checkpoint_every=args.checkpoint_every)
         except TransientError as exc:
             # Retries exhausted on a pipeline leg (e.g. every transfer
             # attempt failed): the night lost work — report it as a
@@ -435,14 +480,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                              max_workers=args.workers,
                              registry=MetricsRegistry())
 
+    # The chaos leg (only) checkpoints: the baseline must stay the clean,
+    # uninterrupted reference the equivalence check compares against.
+    checkpoint = None
+    if args.checkpoint_every > 0:
+        import tempfile
+
+        from .checkpoint import CheckpointPlan
+
+        ck_root = args.store_dir or tempfile.mkdtemp(prefix="repro-chaos-ck-")
+        checkpoint = CheckpointPlan(store_root=str(ck_root),
+                                    every=args.checkpoint_every)
+        print(f"checkpoint: every {args.checkpoint_every} ticks -> {ck_root}")
+
     reg = MetricsRegistry()
     ledger = _resolve_ledger(args)
     res = supervise_instances(specs, parallel=parallel,
                               max_workers=args.workers, registry=reg,
-                              retry=retry, faults=plan, ledger=ledger)
+                              retry=retry, faults=plan, ledger=ledger,
+                              checkpoint=checkpoint)
     print(f"chaos: {res.summary()}")
     for name in sorted(reg.names()):
-        if name.startswith(("faults.", "retry.")) and reg.value(name):
+        if (name.startswith(("faults.", "retry.", "checkpoint."))
+                and reg.value(name)):
             print(f"  {name} = {int(reg.value(name))}")
 
     # Optional store leg: publish the surviving results through a faulted
@@ -645,7 +705,8 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         store.root, args.shards, host=args.host,
         capacity=args.capacity, aging_every=args.aging_every,
         batch_size=args.batch_size, elastic_max=args.elastic_max,
-        max_workers=args.workers, parallel=not args.serial)
+        max_workers=args.workers, parallel=not args.serial,
+        checkpoint_every=args.checkpoint_every)
     fleet.start()
     router = Router.for_fleet(fleet)
     server = make_router_server(router, host=args.host, port=args.port)
@@ -713,7 +774,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         capacity=args.capacity, aging_every=args.aging_every,
         batch_size=args.batch_size, max_workers=args.workers,
         parallel=not args.serial, retry=retry, faults=faults,
-        surrogate=surrogate, elastic_max=args.elastic_max)
+        surrogate=surrogate, elastic_max=args.elastic_max,
+        checkpoint=_resolve_checkpoint(args, store))
     server = make_server(service, host=args.host, port=args.port)
     port = server.server_address[1]
     if args.port_file:
@@ -899,6 +961,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-plan + backoff-jitter seed")
     p.add_argument("--retries", type=int, default=1,
                    help="attempts before quarantining the run (default 1)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N",
+                   help="snapshot in-flight state every N ticks through "
+                        "the result store so retries resume instead of "
+                        "restarting from tick 0 (default 0 = off; needs "
+                        "the store)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_simulate)
@@ -932,6 +1000,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "repeatable — see 'repro chaos sites'")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="fault-plan seed (deterministic firing)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N",
+                   help="model remote jobs snapshotting every N simulated "
+                        "days: the per-task write cost inflates the "
+                        "projected makespan before the window-fit check "
+                        "(default 0 = off)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_night)
@@ -971,6 +1045,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also round-trip surviving results through a "
                          "store at DIR (cas.corrupt plants bad blobs "
                          "the integrity check must catch)")
+    sp.add_argument("--checkpoint-every", type=int, default=0,
+                    metavar="N",
+                    help="checkpoint the chaos leg every N ticks (to "
+                         "--store-dir, or a temp store) so "
+                         "worker.crash_mid_run drills the crash -> "
+                         "resume -> bit-identical path (default 0 = off)")
     sp.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -1013,6 +1093,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative-uncertainty gate: serve from the "
                         "surrogate only when mean predictive sd / peak "
                         "trajectory is below this (default 0.05)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N",
+                   help="snapshot in-flight scenarios every N ticks "
+                        "through the result store so retries after "
+                        "mid-run worker deaths resume instead of "
+                        "restarting (default 0 = off; needs the store)")
     _add_cache_flags(p)
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_serve)

@@ -45,6 +45,14 @@ AGGREGATION_SECONDS: float = 1800.0
 #: prediction design ships ~0.3GB, the 300-cell calibration design ~7.7GB.
 CONFIG_BYTES_PER_CELL: float = 0.5 * MB
 
+#: Modelled checkpoint costs for ``orchestrate_night(checkpoint_every=N)``.
+#: Nightly production runs simulate ~4 months of epidemic; one snapshot is
+#: the full agent-state dump to the parallel filesystem (seconds at
+#: EpiHiper scale).  Interval N thus adds HORIZON//N * WRITE_SECONDS of
+#: wall time per task — the window-fit trade the knob exists to expose.
+NIGHTLY_HORIZON_DAYS: int = 120
+CHECKPOINT_WRITE_SECONDS: float = 5.0
+
 
 @dataclass(frozen=True)
 class NightlyReport:
@@ -129,6 +137,7 @@ def orchestrate_night(
     min_replicates: int = 1,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    checkpoint_every: int = 0,
 ) -> NightlyReport:
     """Run one full nightly cycle for ``design``.
 
@@ -161,6 +170,14 @@ def orchestrate_night(
         faults: optional fault plan threaded to the Globus link (the
             ``transfer.fail`` site) and the ledger (``ledger.torn``).
         retry: retry budget for faulted transfers.
+        checkpoint_every: snapshot interval in simulated days for the
+            remote simulation jobs (0 = off).  The nightly timeline is
+            modelled, so the knob prices the trade the execution plane
+            makes for real: each task pays
+            ``NIGHTLY_HORIZON_DAYS // N`` snapshot writes of
+            :data:`CHECKPOINT_WRITE_SECONDS`, inflating the projected
+            makespan *before* the window-fit check and the degradation
+            decision (``night.checkpoint_overhead_s`` on the registry).
     """
     if resume and ledger is None:
         raise ValueError("resume needs a ledger to replay")
@@ -192,6 +209,21 @@ def orchestrate_night(
             machine_width=instance.machine_width,
             db_caps=instance.db_caps,
         )
+    # Checkpoint overhead lands before packing/degradation so both the
+    # window-fit projection and the shed decision see the true task costs.
+    if checkpoint_every > 0:
+        from dataclasses import replace as _replace
+
+        per_task = ((NIGHTLY_HORIZON_DAYS // checkpoint_every)
+                    * CHECKPOINT_WRITE_SECONDS)
+        instance = WMPInstance(
+            tasks=[_replace(t, est_time=t.est_time + per_task)
+                   for t in instance.tasks],
+            machine_width=instance.machine_width,
+            db_caps=instance.db_caps,
+        )
+        reg.gauge("night.checkpoint_overhead_s",
+                  per_task * len(instance.tasks))
     packer = pack_ffdt_dc if algorithm == "FFDT-DC" else pack_nfdt_dc
 
     # Deadline-aware degradation: project the makespan before building the

@@ -27,6 +27,7 @@ returning.
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from collections import Counter
@@ -143,9 +144,22 @@ def _inject_worker_faults(spec: InstanceSpec, attempt: int,
         time.sleep(delay)
 
 
+def _needs_tick_loop(checkpoint, faults: FaultPlan | None) -> bool:
+    """Whether execution must go through the checkpoint-aware tick loop.
+
+    True when checkpointing is enabled *or* a ``worker.crash_mid_run``
+    rule is present (the crash-tick drill needs the driver-owned loop
+    even with checkpointing off — that is the no-checkpoint baseline).
+    """
+    return ((checkpoint is not None and checkpoint.enabled)
+            or (faults is not None
+                and faults.active("worker.crash_mid_run")))
+
+
 def _execute_one(spec: InstanceSpec, attempt: int = 0,
                  faults: FaultPlan | None = None, *,
-                 allow_exit: bool = False) -> tuple[InstanceOutcome, dict]:
+                 allow_exit: bool = False,
+                 checkpoint=None) -> tuple[InstanceOutcome, dict]:
     """Worker: run one spec; return its outcome plus a telemetry dump.
 
     Imports happen inside the worker so forked/spawned processes
@@ -160,27 +174,34 @@ def _execute_one(spec: InstanceSpec, attempt: int = 0,
     retried attempt reproduces the clean run bit for bit.
     """
     from ..obs.registry import MetricsRegistry
-    from .runner import execute_spec
+    from .runner import execute_spec, execute_spec_checkpointed
 
     _inject_worker_faults(spec, attempt, faults, allow_exit=allow_exit)
     reg = MetricsRegistry()
     if faults is not None and faults.delay("worker.slow",
                                            _spec_key(spec), attempt) > 0:
         reg.inc("faults.worker.slow")
-    outcome = execute_spec(spec, metrics=reg)
+    if _needs_tick_loop(checkpoint, faults):
+        outcome = execute_spec_checkpointed(
+            spec, plan=checkpoint, attempt=attempt, faults=faults,
+            allow_exit=allow_exit, metrics=reg)
+    else:
+        outcome = execute_spec(spec, metrics=reg)
     return outcome, reg.dump()
 
 
 def _execute_one_pooled(spec: InstanceSpec, attempt: int,
-                        faults: FaultPlan | None) -> tuple[InstanceOutcome,
-                                                           dict]:
+                        faults: FaultPlan | None,
+                        checkpoint=None) -> tuple[InstanceOutcome, dict]:
     """Pool-worker entry: like :func:`_execute_one`, with hard crashes."""
-    return _execute_one(spec, attempt, faults, allow_exit=True)
+    return _execute_one(spec, attempt, faults, allow_exit=True,
+                        checkpoint=checkpoint)
 
 
 def _execute_group(specs: list[InstanceSpec], attempt: int = 0,
                    faults: FaultPlan | None = None, *,
-                   allow_exit: bool = False) -> tuple[list, dict]:
+                   allow_exit: bool = False,
+                   checkpoint=None) -> tuple[list, dict]:
     """Worker: run one batchable spec group through the stacked kernel.
 
     Faults are injected per spec *before* the batch is built: a spec
@@ -201,7 +222,12 @@ def _execute_group(specs: list[InstanceSpec], attempt: int = 0,
     """
     from ..epihiper.batch import BatchIncompatible
     from ..obs.registry import MetricsRegistry
-    from .runner import execute_spec, execute_specs_batched
+    from .runner import (
+        execute_spec,
+        execute_spec_checkpointed,
+        execute_specs_batched,
+        execute_specs_batched_checkpointed,
+    )
 
     entries: list = [None] * len(specs)
     live: list[int] = []
@@ -221,29 +247,73 @@ def _execute_group(specs: list[InstanceSpec], attempt: int = 0,
                                 attempt) > 0:
                     reg.inc("faults.worker.slow")
         live_specs = [specs[j] for j in live]
+        tick_loop = _needs_tick_loop(checkpoint, faults)
         try:
-            pairs = execute_specs_batched(live_specs, metrics=reg)
+            if tick_loop:
+                pairs = execute_specs_batched_checkpointed(
+                    live_specs, plan=checkpoint, attempt=attempt,
+                    faults=faults, allow_exit=allow_exit, metrics=reg)
+            else:
+                pairs = execute_specs_batched(live_specs, metrics=reg)
         except BatchIncompatible:
             reg.inc("batch.incompatible")
             pairs = []
             for spec in live_specs:
                 lane_reg = MetricsRegistry()
-                pairs.append((execute_spec(spec, metrics=lane_reg),
-                              lane_reg.dump()))
+                if tick_loop:
+                    outcome = execute_spec_checkpointed(
+                        spec, plan=checkpoint, attempt=attempt,
+                        faults=faults, allow_exit=allow_exit,
+                        metrics=lane_reg)
+                else:
+                    outcome = execute_spec(spec, metrics=lane_reg)
+                pairs.append((outcome, lane_reg.dump()))
         for j, pair in zip(live, pairs):
             entries[j] = ("ok", pair)
     return entries, reg.dump()
 
 
 def _execute_group_pooled(specs: list[InstanceSpec], attempt: int,
-                          faults: FaultPlan | None) -> tuple[list, dict]:
+                          faults: FaultPlan | None,
+                          checkpoint=None) -> tuple[list, dict]:
     """Pool-worker entry: like :func:`_execute_group`, with hard crashes."""
-    return _execute_group(specs, attempt, faults, allow_exit=True)
+    return _execute_group(specs, attempt, faults, allow_exit=True,
+                          checkpoint=checkpoint)
 
 
 def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:
     """The key ``load_region_assets`` caches on."""
     return (spec.region_code, spec.scale, spec.asset_seed)
+
+
+def _scaled_timeout_of(checkpoint, retry: RetryPolicy):
+    """Per-attempt timeout scaled to the ticks actually remaining.
+
+    With checkpointing on, a retried attempt resumes mid-run — holding it
+    to the full-run deadline would let a wedged worker squat for the
+    whole budget after 90% of the work is already banked.  The parent
+    reads the (cheap, pointer-file-only) latest checkpoint tick at
+    submission time and scales the policy timeout by the remaining
+    fraction, floored at one tick's worth.  Returns None when the policy
+    has no timeout (nothing to scale).
+    """
+    base = retry.timeout_s
+    if base is None or not checkpoint.enabled:
+        return None
+    from ..store.keys import instance_key
+
+    manager = checkpoint.manager()
+
+    def timeout_of(item, attempt: int) -> float:
+        specs = item if isinstance(item, list) else [item]
+        n_days = max(s.n_days for s in specs)
+        start = min(
+            (manager.latest_tick(instance_key(s, salt=checkpoint.salt))
+             or 0) for s in specs)
+        remaining = max(1, n_days - start)
+        return base * remaining / max(1, n_days)
+
+    return timeout_of
 
 
 def _warm_worker(asset_keys: tuple[tuple[str, float, int], ...]) -> None:
@@ -283,6 +353,7 @@ def supervise_instances(
     faults: FaultPlan | None = None,
     ledger=None,
     on_failure: str = QUARANTINE,
+    checkpoint=None,
 ) -> FanoutResult:
     """Execute instances under supervision; never die mid-batch.
 
@@ -310,6 +381,13 @@ def supervise_instances(
         ledger: optional run journal; quarantines are recorded as
             ``instance_failed`` events with ``quarantined=True``.
         on_failure: ``"quarantine"`` (default) or ``"raise"``.
+        checkpoint: optional
+            :class:`~repro.checkpoint.CheckpointPlan`.  When enabled,
+            workers snapshot in-flight state every ``plan.every`` ticks
+            through the CAS, retried attempts resume from the newest
+            valid snapshot instead of tick 0, per-attempt timeouts scale
+            to the work remaining, and the result reports
+            ``ticks_saved``.  Disabled plans leave execution unchanged.
 
     Returns:
         A :class:`~repro.resilience.supervisor.FanoutResult` whose
@@ -321,6 +399,10 @@ def supervise_instances(
     if not specs:
         return supervise_map(_execute_one, [], registry=sink)
     workers = min(max_workers or os.cpu_count() or 1, len(specs))
+    ck_enabled = checkpoint is not None and checkpoint.enabled
+    ck_saved0 = sink.value("checkpoint.ticks_saved") if ck_enabled else 0
+    timeout_of = (_scaled_timeout_of(checkpoint, retry)
+                  if ck_enabled and retry is not None else None)
 
     # Partition into batchable replicate groups BEFORE any warm-pool
     # sorting: the asset-key sort reorders submission, and chunking over
@@ -332,10 +414,15 @@ def supervise_instances(
     single_idx = [g[0] for g in group_idx if len(g) == 1]
 
     if not multi:
-        return _fanout_singles(
+        res = _fanout_singles(
             specs, list(range(len(specs))), workers=workers,
             parallel=parallel, sink=sink, retry=retry, faults=faults,
-            ledger=ledger, on_failure=on_failure)
+            ledger=ledger, on_failure=on_failure, checkpoint=checkpoint,
+            timeout_of=timeout_of)
+        if ck_enabled:
+            res.ticks_saved = int(
+                sink.value("checkpoint.ticks_saved") - ck_saved0)
+        return res
 
     sink.inc("batch.groups", len(multi))
 
@@ -350,6 +437,12 @@ def supervise_instances(
         for entry in entries:
             if entry is not None and entry[0] == "ok":
                 sink.merge(entry[1][1])
+
+    fn_group = (functools.partial(_execute_group, checkpoint=checkpoint)
+                if checkpoint is not None else _execute_group)
+    pool_group = (functools.partial(_execute_group_pooled,
+                                    checkpoint=checkpoint)
+                  if checkpoint is not None else _execute_group_pooled)
 
     # Pool whenever the caller asked for parallelism — even a single
     # group: process isolation is what turns a hard worker death into a
@@ -370,15 +463,15 @@ def supervise_instances(
             )
 
         gres = supervise_map(
-            _execute_group, group_items, keys=group_keys,
-            make_pool=make_group_pool, pool_fn=_execute_group_pooled,
+            fn_group, group_items, keys=group_keys,
+            make_pool=make_group_pool, pool_fn=pool_group,
             submit_order=order, retry=retry, faults=faults,
             on_failure=on_failure, registry=sink, ledger=ledger,
-            on_result=merge_group)
+            on_result=merge_group, timeout_of=timeout_of)
         sink.gauge("parallel.workers", g_workers)
     else:
         gres = supervise_map(
-            _execute_group, group_items, keys=group_keys, retry=retry,
+            fn_group, group_items, keys=group_keys, retry=retry,
             faults=faults, on_failure=on_failure, registry=sink,
             ledger=ledger, on_result=merge_group)
 
@@ -450,7 +543,8 @@ def supervise_instances(
         sres = _fanout_singles(
             specs, solo_idx, workers=workers, parallel=parallel,
             sink=sink, retry=retry, faults=faults, ledger=ledger,
-            on_failure=on_failure,
+            on_failure=on_failure, checkpoint=checkpoint,
+            timeout_of=timeout_of,
             start_attempts=[1 if i in retry_pos else 0 for i in solo_idx],
             prior_failures=[1 if i in retry_pos else 0 for i in solo_idx])
         qiter = iter(sres.quarantined)
@@ -469,6 +563,8 @@ def supervise_instances(
                  + (sres.retries if sres else 0)),
         pool_rebuilds=(gres.pool_rebuilds
                        + (sres.pool_rebuilds if sres else 0)),
+        ticks_saved=(int(sink.value("checkpoint.ticks_saved") - ck_saved0)
+                     if ck_enabled else 0),
     )
 
 
@@ -483,6 +579,8 @@ def _fanout_singles(
     faults: FaultPlan | None,
     ledger,
     on_failure: str,
+    checkpoint=None,
+    timeout_of=None,
     start_attempts: list[int] | None = None,
     prior_failures: list[int] | None = None,
 ) -> FanoutResult:
@@ -497,13 +595,17 @@ def _fanout_singles(
     """
     items = [specs[i] for i in idx]
     keys = [_spec_key(s) for s in items]
+    fn_one = (functools.partial(_execute_one, checkpoint=checkpoint)
+              if checkpoint is not None else _execute_one)
+    pool_one = (functools.partial(_execute_one_pooled, checkpoint=checkpoint)
+                if checkpoint is not None else _execute_one_pooled)
 
     def merge_dump(_i: int, pair: tuple[InstanceOutcome, dict]) -> None:
         sink.merge(pair[1])
 
     if not parallel or len(items) == 1 or workers <= 1:
         res = supervise_map(
-            _execute_one, items, keys=keys, retry=retry, faults=faults,
+            fn_one, items, keys=keys, retry=retry, faults=faults,
             on_failure=on_failure, registry=sink, ledger=ledger,
             on_result=merge_dump, start_attempts=start_attempts,
             prior_failures=prior_failures)
@@ -523,11 +625,12 @@ def _fanout_singles(
             )
 
         res = supervise_map(
-            _execute_one, items, keys=keys, make_pool=make_pool,
-            pool_fn=_execute_one_pooled, submit_order=order, retry=retry,
+            fn_one, items, keys=keys, make_pool=make_pool,
+            pool_fn=pool_one, submit_order=order, retry=retry,
             faults=faults, on_failure=on_failure, registry=sink,
             ledger=ledger, on_result=merge_dump,
-            start_attempts=start_attempts, prior_failures=prior_failures)
+            start_attempts=start_attempts, prior_failures=prior_failures,
+            timeout_of=timeout_of)
         sink.gauge("parallel.workers", s_workers)
     res.results = [pair[0] if pair is not None else None
                    for pair in res.results]
@@ -542,6 +645,7 @@ def run_instances(
     registry=None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    checkpoint=None,
 ) -> list[InstanceOutcome]:
     """Execute instances, optionally across a process pool.
 
@@ -572,7 +676,8 @@ def run_instances(
     """
     res = supervise_instances(
         specs, max_workers=max_workers, parallel=parallel,
-        registry=registry, retry=retry, faults=faults, on_failure=RAISE)
+        registry=registry, retry=retry, faults=faults, on_failure=RAISE,
+        checkpoint=checkpoint)
     return res.results  # type: ignore[return-value] — RAISE means no Nones
 
 

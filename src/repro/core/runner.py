@@ -185,6 +185,150 @@ def execute_spec(spec, *, metrics=None) -> "InstanceOutcome":
     )
 
 
+def _checkpoint_manager_for(plan, spec, reg):
+    """(manager, instance key) for ``spec`` under ``plan`` (None-safe)."""
+    if plan is None or not plan.enabled:
+        return None, None
+    from ..store.keys import instance_key
+
+    return plan.manager(metrics=reg), instance_key(spec, salt=plan.salt)
+
+
+def _restore_or_restart(manager, ck_key, sim, rebuild, *, attempt, reg):
+    """Resume ``sim`` from the newest applicable checkpoint, or tick 0.
+
+    Walks the checkpoint chain newest-first.  A blob the CAS rejects
+    (corrupt — quarantined there) is skipped by the manager; a blob that
+    loads but does not *apply* (format bump, changed intervention stack)
+    is invalidated and the next-older one is tried, rebuilding the
+    simulation first since a failed apply may have partially mutated it.
+    Returns ``(sim, start_tick)``.
+    """
+    from ..checkpoint.format import CheckpointError
+
+    if manager is None:
+        return sim, 0
+    while True:
+        latest = manager.load_latest(ck_key)
+        if latest is None:
+            return sim, 0
+        tick, payload = latest
+        try:
+            start_tick = sim.restore_state(payload)
+        except CheckpointError:
+            manager.invalidate(ck_key, tick)
+            sim = rebuild()
+            continue
+        manager.resumed(ck_key, start_tick, attempt=attempt)
+        return sim, start_tick
+
+
+def run_instance_checkpointed(
+    spec, assets: RegionAssets, *, plan=None, attempt: int = 0,
+    faults=None, allow_exit: bool = False, metrics=None,
+) -> tuple[SimulationResult, Any]:
+    """Run one spec's simulation under the checkpoint-aware tick loop.
+
+    The driver owns the loop so it can resume from the newest valid
+    snapshot, write one every ``plan.every`` ticks, and die
+    deterministically at an injected ``worker.crash_mid_run`` tick (hard
+    ``os._exit`` in pool workers, a transient :class:`InjectedFault`
+    in-process).  With no plan (or ``every=0``) and no crash rule this
+    degenerates to the plain loop — no snapshots, no per-tick checks
+    beyond two comparisons — and a resumed run's outputs are
+    byte-identical to an uninterrupted one.
+
+    Shared by :func:`execute_spec_checkpointed` (the fan-out's unit of
+    work) and the CLI's solo ``simulate --checkpoint-every`` path, which
+    needs the raw ``(result, model)`` pair like :func:`run_instance`.
+
+    Args:
+        spec: the instance to run (``params`` / ``n_days`` / ``seed``).
+        assets: the region inputs (callers cache these).
+        plan: optional :class:`~repro.checkpoint.manager.CheckpointPlan`.
+        attempt: the supervised attempt number (fault-rule matching).
+        faults: optional fault plan (``worker.crash_mid_run`` site).
+        allow_exit: pool workers die hard; in-process raises instead.
+        metrics: registry receiving the ``checkpoint.*`` counters and
+            ``runner.ticks_executed``.
+    """
+    import os as _os
+
+    from ..obs.registry import global_registry
+    from ..resilience.faults import CRASH_EXIT_CODE, InjectedFault
+    from .parallel import _spec_key
+
+    reg = metrics if metrics is not None else global_registry()
+    fault_key = _spec_key(spec)
+    crash_tick = (faults.crash_tick(fault_key, attempt)
+                  if faults is not None else None)
+    manager, ck_key = _checkpoint_manager_for(plan, spec, reg)
+
+    def rebuild():
+        sim, _model = prepare_instance(assets, spec.params, seed=spec.seed)
+        sim.begin()
+        return sim
+
+    sim, model = prepare_instance(assets, spec.params, seed=spec.seed)
+    sim.begin()
+    sim, _tick = _restore_or_restart(
+        manager, ck_key, sim, rebuild, attempt=attempt, reg=reg)
+    n_days = spec.n_days
+    while sim.tick < n_days:
+        if crash_tick is not None and sim.tick == crash_tick:
+            if allow_exit:
+                _os._exit(CRASH_EXIT_CODE)
+            raise InjectedFault(
+                "worker.crash_mid_run",
+                f"{fault_key} attempt {attempt} tick {sim.tick}")
+        sim.step()
+        reg.inc("runner.ticks_executed")
+        if (manager is not None and sim.tick < n_days
+                and sim.tick % plan.every == 0):
+            manager.write(ck_key, sim.save_state(), tick=sim.tick)
+    return sim.finish(), model
+
+
+def execute_spec_checkpointed(
+    spec, *, plan=None, attempt: int = 0, faults=None,
+    allow_exit: bool = False, metrics=None,
+) -> "InstanceOutcome":
+    """Execute one spec with periodic checkpoints and crash-tick faults.
+
+    The checkpoint-aware twin of :func:`execute_spec`: the tick loop is
+    :func:`run_instance_checkpointed`; everything around it (asset
+    cache, timers, outcome reduction) matches the plain executor.
+
+    Args:
+        spec: the instance to execute.
+        plan: optional :class:`~repro.checkpoint.manager.CheckpointPlan`.
+        attempt: the supervised attempt number (fault-rule matching).
+        faults: optional fault plan (``worker.crash_mid_run`` site).
+        allow_exit: pool workers die hard; in-process raises instead.
+        metrics: as :func:`execute_spec`; additionally receives the
+            ``checkpoint.*`` counters and ``runner.ticks_executed``.
+    """
+    from ..obs.registry import global_registry
+    from .parallel import InstanceOutcome
+
+    reg = metrics if metrics is not None else global_registry()
+    with reg.timer("runner.assets_s"):
+        assets = load_region_assets(spec.region_code, spec.scale,
+                                    spec.asset_seed)
+    with reg.timer("runner.simulate_s"):
+        result, model = run_instance_checkpointed(
+            spec, assets, plan=plan, attempt=attempt, faults=faults,
+            allow_exit=allow_exit, metrics=reg)
+    reg.inc("runner.instances")
+    reg.merge(result.metrics)
+    return InstanceOutcome(
+        spec=spec,
+        confirmed=confirmed_series(result, model, spec.n_days),
+        attack_rate=result.attack_rate(model),
+        transitions=result.log.size,
+    )
+
+
 def execute_specs_batched(
     specs: list, *, metrics=None
 ) -> list[tuple["InstanceOutcome", dict]]:
@@ -232,6 +376,128 @@ def execute_specs_batched(
                                   metrics=reg)
     with reg.timer("runner.simulate_s"):
         results = batch.run(first.n_days)
+    out: list[tuple[InstanceOutcome, dict]] = []
+    for spec, (_sim, model), result in zip(specs, lanes, results):
+        lane_reg = MetricsRegistry()
+        lane_reg.inc("runner.instances")
+        lane_reg.merge(result.metrics)
+        outcome = InstanceOutcome(
+            spec=spec,
+            confirmed=confirmed_series(result, model, spec.n_days),
+            attack_rate=result.attack_rate(model),
+            transitions=result.log.size,
+        )
+        out.append((outcome, lane_reg.dump()))
+    return out
+
+
+def execute_specs_batched_checkpointed(
+    specs: list, *, plan=None, attempt: int = 0, faults=None,
+    allow_exit: bool = False, metrics=None,
+) -> list[tuple["InstanceOutcome", dict]]:
+    """Checkpoint-aware twin of :func:`execute_specs_batched`.
+
+    The whole group shares one tick loop, so the failure domain is the
+    group: a ``worker.crash_mid_run`` rule firing for *any* lane kills
+    the batch at that tick (matching what a real worker death does), and
+    resume restores every lane from the greatest tick *common* to all
+    lanes' checkpoint chains — a crash mid-write may leave some lanes one
+    snapshot ahead, and lanes must re-enter the loop aligned
+    (:class:`~repro.epihiper.batch.BatchIncompatible` otherwise).
+    Per-lane snapshots are still independent blobs under each lane's own
+    instance key, so a group re-formed differently later can still reuse
+    them lane by lane.
+
+    Raises :class:`~repro.epihiper.batch.BatchIncompatible` exactly like
+    the plain group executor — callers fall back to per-spec serial
+    execution (which stays checkpoint-aware through
+    :func:`execute_spec_checkpointed`).
+    """
+    import os as _os
+
+    from ..checkpoint.format import CheckpointError
+    from ..checkpoint.manager import checkpoint_blob_key
+    from ..epihiper.batch import BatchedSimulation, BatchIncompatible
+    from ..obs.registry import MetricsRegistry, global_registry
+    from ..resilience.faults import CRASH_EXIT_CODE, InjectedFault
+    from .parallel import InstanceOutcome, _spec_key
+
+    reg = metrics if metrics is not None else global_registry()
+    first = specs[0]
+    n_days = first.n_days
+    crash_tick = None
+    if faults is not None:
+        fired = [t for t in (faults.crash_tick(_spec_key(s), attempt)
+                             for s in specs) if t is not None]
+        if fired:
+            crash_tick = min(fired)
+    manager = ck_keys = None
+    if plan is not None and plan.enabled:
+        from ..store.keys import instance_key
+
+        manager = plan.manager(metrics=reg)
+        ck_keys = [instance_key(s, salt=plan.salt) for s in specs]
+    with reg.timer("runner.assets_s"):
+        assets = load_region_assets(first.region_code, first.scale,
+                                    first.asset_seed)
+
+    def build():
+        lanes = [prepare_instance(assets, s.params, seed=s.seed)
+                 for s in specs]
+        batch = BatchedSimulation([sim for sim, _model in lanes],
+                                  metrics=reg)
+        batch.begin()
+        return lanes, batch
+
+    with reg.timer("runner.batch_setup_s"):
+        lanes, batch = build()
+    with reg.timer("runner.simulate_s"):
+        tick_now = 0
+        if manager is not None:
+            common = set(manager.ticks(ck_keys[0]))
+            for k in ck_keys[1:]:
+                common &= set(manager.ticks(k))
+            for tick in sorted(common, reverse=True):
+                payloads = [manager.store.get(checkpoint_blob_key(k, tick))
+                            for k in ck_keys]
+                if any(p is None for p in payloads):
+                    for k, p in zip(ck_keys, payloads):
+                        if p is None:
+                            manager.invalidate(k, tick)
+                    continue
+                try:
+                    tick_now = batch.restore_state(payloads)
+                except (CheckpointError, BatchIncompatible):
+                    for k in ck_keys:
+                        manager.invalidate(k, tick)
+                    with reg.timer("runner.batch_setup_s"):
+                        lanes, batch = build()  # a failed apply may have
+                        tick_now = 0            # partially mutated lanes
+                    continue
+                for k in ck_keys:
+                    manager.resumed(k, tick_now, attempt=attempt)
+                break
+        since_flush = 0
+        while tick_now < n_days:
+            if crash_tick is not None and tick_now == crash_tick:
+                if allow_exit:
+                    _os._exit(CRASH_EXIT_CODE)
+                raise InjectedFault(
+                    "worker.crash_mid_run",
+                    f"batch/{_spec_key(first)} attempt {attempt} "
+                    f"tick {tick_now}")
+            batch.step()
+            tick_now += 1
+            since_flush += 1
+            reg.inc("runner.ticks_executed", len(specs))
+            if (manager is not None and tick_now < n_days
+                    and tick_now % plan.every == 0):
+                snaps = batch.save_state(ticks_since_flush=since_flush)
+                since_flush = 0
+                for k, snap in zip(ck_keys, snaps):
+                    manager.write(k, snap, tick=tick_now)
+        batch.flush(since_flush)
+        results = batch.finish()
     out: list[tuple[InstanceOutcome, dict]] = []
     for spec, (_sim, model), result in zip(specs, lanes, results):
         lane_reg = MetricsRegistry()

@@ -935,14 +935,78 @@ class BatchedSimulation:
         """
         if n_days < 0:
             raise ValueError("n_days must be non-negative")
-        for sim in self.lanes:
-            sim._ensure_initial_census()
+        self.begin()
         for _ in range(n_days):
             self.step()
+        self.flush(n_days)
+        return self.finish()
+
+    # -- checkpoint hooks --------------------------------------------------------
+
+    def begin(self) -> None:
+        """Record each lane's tick-0 census row once (idempotent)."""
+        for sim in self.lanes:
+            sim._ensure_initial_census()
+
+    def flush(self, n_ticks: int) -> None:
+        """Drain the deferred per-tick bookkeeping into the lanes.
+
+        Census rows, memory estimates, work counters, and timer shares all
+        accumulate cumulatively, so flushing mid-run (before a checkpoint)
+        then continuing is byte-identical to one flush at the end.
+        ``n_ticks`` is the tick count since the previous flush (timer
+        observation counts only).
+        """
         self._flush_census()
         self._flush_counters()
-        self._flush_timers(n_days)
+        self._flush_timers(n_ticks)
+
+    def finish(self) -> list[SimulationResult]:
+        """Assemble one result per lane (state must be flushed first)."""
         return [sim._assemble_result() for sim in self.lanes]
+
+    def save_state(self, *, ticks_since_flush: int = 0) -> list:
+        """Snapshot every lane as a list of CAS-ready payloads.
+
+        Flushes the deferred bookkeeping first so each lane's snapshot is
+        self-contained (census/memory history and ``engine.*`` counters up
+        to the current tick); pass the ticks advanced since the previous
+        flush so timer shares keep their observation counts.
+        """
+        self.flush(ticks_since_flush)
+        return [sim.save_state() for sim in self.lanes]
+
+    def restore_state(self, payloads: list) -> int:
+        """Apply per-lane :meth:`save_state` payloads; returns the tick.
+
+        Lane state arrays are written in place, so the stacked row views
+        stay live.  All lanes must land on the same tick
+        (:class:`BatchIncompatible` otherwise — a torn multi-lane
+        checkpoint set must not advance unevenly).
+        """
+        if len(payloads) != len(self.lanes):
+            raise BatchIncompatible(
+                f"{len(payloads)} checkpoint payloads for "
+                f"{len(self.lanes)} lanes")
+        ticks = [sim.restore_state(payload)
+                 for sim, payload in zip(self.lanes, payloads)]
+        if len(set(ticks)) != 1:
+            raise BatchIncompatible(
+                f"restored lanes disagree on tick: {sorted(set(ticks))}")
+        # The deferred bookkeeping the restored registries already carry
+        # must not be re-applied on the next flush.
+        self._census_rows.clear()
+        self._pend_snap.clear()
+        self._trans_snap.clear()
+        self._ops_snap.clear()
+        k = len(self.lanes)
+        for cts in (self._ct_contacts, self._ct_transitions,
+                    self._ct_transmissions, self._ct_iv_fired,
+                    self._ct_iv_ops):
+            cts[:] = [0] * k
+        self._trans_base = [
+            sim.metrics.value("engine.transitions") for sim in self.lanes]
+        return ticks[0]
 
     def _flush_census(self) -> None:
         """Expand the deferred per-tick snapshots into per-lane history.

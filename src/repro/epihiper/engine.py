@@ -317,10 +317,50 @@ class Simulation:
         return self._run(n_days)
 
     def _run(self, n_days: int) -> SimulationResult:
-        self._ensure_initial_census()
+        self.begin()
         for _ in range(n_days):
             self.step()
+        return self.finish()
+
+    # -- checkpoint hooks --------------------------------------------------------
+
+    def begin(self) -> None:
+        """Prepare for stepping: record the tick-0 census row once.
+
+        Public twin of the ``_run`` preamble so checkpoint-aware drivers
+        can own the tick loop themselves; idempotent, and a no-op after a
+        :meth:`restore_state` (the restored history already has its rows).
+        """
+        self._ensure_initial_census()
+
+    def finish(self) -> SimulationResult:
+        """Assemble the result for the ticks advanced so far."""
         return self._assemble_result()
+
+    def save_state(self) -> dict[str, np.ndarray]:
+        """Snapshot the full mutable state as a flat CAS-ready payload.
+
+        Captures everything :meth:`restore_state` needs for a bit-identical
+        resume: state arrays, dwell timers, RNG stream position, transition
+        log, census/memory histories, ``engine.*`` counters, and the
+        mutable values inside intervention closures.
+        """
+        from ..checkpoint.format import snapshot_simulation
+
+        return snapshot_simulation(self)
+
+    def restore_state(self, payload) -> int:
+        """Apply a :meth:`save_state` payload in place; returns the tick.
+
+        The simulation must have been freshly prepared for the same
+        instance spec (same assets, parameters, seed, interventions).
+        Raises :class:`~repro.checkpoint.format.CheckpointError` when the
+        snapshot does not match this instance.  Resuming then running to
+        day T yields byte-identical outputs to an uninterrupted run.
+        """
+        from ..checkpoint.format import restore_simulation
+
+        return restore_simulation(self, payload)
 
     def _ensure_initial_census(self) -> None:
         """Record the post-initialization census once (tick-0 row)."""

@@ -19,6 +19,8 @@ site                where it fires
 ``worker.crash``    pool worker dies hard (``os._exit``) before executing
 ``worker.exception``  pool worker raises a transient error before executing
 ``worker.slow``     pool worker sleeps ``delay_s`` before executing
+``worker.crash_mid_run``  worker dies hard at simulation tick ``k``
+                    (checkpoint/resume drills; requires ``tick=<k>``)
 ``cas.corrupt``     :meth:`repro.store.cas.ContentStore.put` publishes a
                     blob whose integrity digest does not match its payload
 ``transfer.fail``   :meth:`repro.cluster.globus.GlobusLink.transfer` attempt
@@ -45,6 +47,7 @@ FAULT_SITES: dict[str, str] = {
     "worker.crash": "pool worker dies hard (os._exit) before executing",
     "worker.exception": "worker raises a transient error before executing",
     "worker.slow": "worker sleeps delay_s before executing",
+    "worker.crash_mid_run": "worker dies hard at simulation tick k mid-run",
     "cas.corrupt": "store publishes a blob whose digest does not match",
     "transfer.fail": "a Globus transfer attempt fails (retried)",
     "ledger.torn": "the ledger writes a truncated line (record lost)",
@@ -100,6 +103,8 @@ class FaultRule:
             recover" rule.
         match: substring the operation key must contain ("" matches all).
         delay_s: for ``worker.slow``, how long the worker sleeps.
+        tick: for ``worker.crash_mid_run``, the simulation tick the worker
+            dies at (deterministic kill point inside the tick loop).
     """
 
     site: str
@@ -107,6 +112,7 @@ class FaultRule:
     times: int | None = None
     match: str = ""
     delay_s: float = 0.0
+    tick: int | None = None
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
@@ -119,6 +125,10 @@ class FaultRule:
             raise ValueError("times must be >= 1 (or None)")
         if self.delay_s < 0:
             raise ValueError("delay_s must be non-negative")
+        if self.tick is not None and self.tick < 0:
+            raise ValueError("tick must be non-negative (or None)")
+        if self.site == "worker.crash_mid_run" and self.tick is None:
+            raise ValueError("worker.crash_mid_run requires tick=<k>")
 
     @classmethod
     def parse(cls, text: str) -> "FaultRule":
@@ -144,6 +154,8 @@ class FaultRule:
                     kwargs["match"] = val
                 elif key in ("delay", "delay_s"):
                     kwargs["delay_s"] = float(val)
+                elif key == "tick":
+                    kwargs["tick"] = int(val)
                 else:
                     raise ValueError(f"unknown fault option {key!r}")
         return cls(site=site.strip(), **kwargs)  # type: ignore[arg-type]
@@ -192,6 +204,21 @@ class FaultPlan:
                 return True
         return False
 
+    def crash_tick(self, key: str = "", attempt: int = 0) -> int | None:
+        """Tick a ``worker.crash_mid_run`` rule kills (key, attempt) at.
+
+        Returns None when no rule fires — the common case, so the tick
+        loop's per-tick check is one integer comparison.
+        """
+        for rule in self.rules:
+            if (rule.site != "worker.crash_mid_run"
+                    or not rule.applies(key, attempt)):
+                continue
+            if rule.probability >= 1.0 or hash_uniform(
+                    self.seed, rule.site, key, attempt) < rule.probability:
+                return rule.tick
+        return None
+
     def delay(self, site: str, key: str = "", attempt: int = 0) -> float:
         """Injected delay for ``site`` (0.0 when no slow rule fires)."""
         total = 0.0
@@ -218,6 +245,8 @@ class FaultPlan:
                 bits.append(f"match={r.match}")
             if r.delay_s:
                 bits.append(f"delay={r.delay_s:g}s")
+            if r.tick is not None:
+                bits.append(f"tick={r.tick}")
             parts.append(":".join([bits[0], ",".join(bits[1:])])
                          if len(bits) > 1 else bits[0])
         return " ".join(parts) + f" (seed {self.seed})"

@@ -58,6 +58,9 @@ class FanoutResult:
         attempts: total submissions across the batch (>= len(items)).
         retries: resubmissions after a classified failure.
         pool_rebuilds: times a broken process pool was rebuilt.
+        ticks_saved: simulation ticks *not* re-executed because retries
+            resumed from checkpoints instead of tick 0 (0 when
+            checkpointing is off).
     """
 
     results: list[Any]
@@ -65,6 +68,7 @@ class FanoutResult:
     attempts: int = 0
     retries: int = 0
     pool_rebuilds: int = 0
+    ticks_saved: int = 0
 
     @property
     def ok(self) -> bool:
@@ -83,6 +87,9 @@ class FanoutResult:
             f"{self.attempts} attempts ({self.retries} retries, "
             f"{self.pool_rebuilds} pool rebuilds)"
         ]
+        if self.ticks_saved:
+            lines.append(
+                f"checkpoint resume saved {self.ticks_saved} ticks of work")
         if self.quarantined:
             lines.append(f"quarantined {len(self.quarantined)}:")
             lines.extend("  " + q.describe() for q in self.quarantined)
@@ -192,6 +199,7 @@ def supervise_map(
     on_result: Callable[[int, Any], None] | None = None,
     start_attempts: Sequence[int] | None = None,
     prior_failures: Sequence[int] | None = None,
+    timeout_of: Callable[[Any, int], float | None] | None = None,
 ) -> FanoutResult:
     """Execute ``fn(item, attempt, faults)`` for every item, supervised.
 
@@ -235,6 +243,14 @@ def supervise_map(
             the retry budget (default 0); combined with
             ``start_attempts`` this makes quarantine ``attempts``
             accounting match an uninterrupted run.
+        timeout_of: optional ``(item, attempt) -> seconds | None``
+            overriding the policy's flat per-attempt timeout.  Lets a
+            checkpoint-aware caller scale the deadline to the work
+            actually *remaining* — a resumed attempt near the end of a
+            long run should not inherit the full-run budget, and a
+            restart from tick 0 should not be cut short by a deadline
+            sized for the tail.  Pooled execution only (the serial path
+            never enforces timeouts).
 
     Returns:
         A :class:`FanoutResult` (partial on quarantine, never on error —
@@ -252,7 +268,7 @@ def supervise_map(
         _run_serial(sup, fn, faults)
     else:
         _run_pooled(sup, pool_fn or fn, faults, make_pool,
-                    submit_order=submit_order)
+                    submit_order=submit_order, timeout_of=timeout_of)
     return sup.result()
 
 
@@ -284,22 +300,29 @@ def _run_serial(sup: _Supervisor, fn: Callable[..., Any],
 
 def _run_pooled(sup: _Supervisor, fn: Callable[..., Any],
                 faults: FaultPlan | None, make_pool: Callable[[], Any], *,
-                submit_order: Sequence[int] | None = None) -> None:
+                submit_order: Sequence[int] | None = None,
+                timeout_of: Callable[[Any, int], float | None] | None = None,
+                ) -> None:
     """Future-based pool execution with rebuild-and-salvage supervision."""
     clock = Stopwatch()
     pool = make_pool()
     pending: dict[Future, tuple[int, int]] = {}
-    deadlines: dict[Future, float] = {}
+    deadlines: dict[Future, tuple[float, float]] = {}  # fut -> (dl, budget)
     delayed: list[tuple[float, int, int, int]] = []  # (ready, seq, i, att)
     seq = 0
-    timeout_s = sup.retry.timeout_s
+
+    def attempt_timeout(i: int, attempt: int) -> float | None:
+        if timeout_of is not None:
+            return timeout_of(sup.items[i], attempt)
+        return sup.retry.timeout_s
 
     def submit(i: int, attempt: int) -> None:
         sup.record_attempt()
         fut = pool.submit(fn, sup.items[i], attempt, faults)
         pending[fut] = (i, attempt)
-        if timeout_s is not None:
-            deadlines[fut] = clock.elapsed() + timeout_s
+        budget = attempt_timeout(i, attempt)
+        if budget is not None:
+            deadlines[fut] = (clock.elapsed() + budget, budget)
 
     try:
         for i in (submit_order if submit_order is not None
@@ -317,7 +340,8 @@ def _run_pooled(sup: _Supervisor, fn: Callable[..., Any],
             if delayed:
                 wait_s = max(0.0, delayed[0][0] - now)
             if deadlines:
-                until_deadline = max(0.0, min(deadlines.values()) - now)
+                until_deadline = max(
+                    0.0, min(dl for dl, _b in deadlines.values()) - now)
                 wait_s = (until_deadline if wait_s is None
                           else min(wait_s, until_deadline))
             finished, _ = wait(set(pending), timeout=wait_s,
@@ -344,15 +368,17 @@ def _run_pooled(sup: _Supervisor, fn: Callable[..., Any],
             # simply discarded (it is no longer tracked) while the item
             # retries on a free worker — the idempotent-replicate
             # property makes the duplicate execution harmless.
-            if timeout_s is not None:
+            if deadlines:
                 now = clock.elapsed()
-                for fut in [f for f, dl in deadlines.items() if dl <= now]:
+                overdue = [f for f, (dl, _b) in deadlines.items()
+                           if dl <= now]
+                for fut in overdue:
                     i, attempt = pending.pop(fut)
-                    del deadlines[fut]
+                    _dl, budget = deadlines.pop(fut)
                     fut.cancel()
                     delay = sup.on_error(
                         i, attempt,
-                        TimeoutError(f"attempt exceeded {timeout_s}s"))
+                        TimeoutError(f"attempt exceeded {budget:g}s"))
                     if delay is not None:
                         heapq.heappush(delayed,
                                        (now + delay, seq, i, attempt + 1))

@@ -61,6 +61,11 @@ class Broker:
             request) while an idle service keeps small-batch latency.
             None keeps the fixed ``batch_size``.
         idle_wait_s: how long the loop blocks waiting for work.
+        checkpoint: optional :class:`~repro.checkpoint.CheckpointPlan`;
+            when enabled, in-flight instances snapshot state through the
+            CAS and retries after mid-run worker deaths resume instead
+            of restarting (``checkpoint.*`` counters land in
+            ``/v1/metrics``).
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class Broker:
         leases=None,
         elastic_max: int | None = None,
         idle_wait_s: float = 0.1,
+        checkpoint=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -100,6 +106,7 @@ class Broker:
         self.leases = leases
         self.elastic_max = elastic_max
         self.idle_wait_s = idle_wait_s
+        self.checkpoint = checkpoint
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._drain = True
@@ -186,7 +193,8 @@ class Broker:
             specs, store=self.store, ledger=self.ledger, salt=self.salt,
             registry=self.registry, max_workers=self.max_workers,
             parallel=self.parallel, retry=self.retry, faults=self.faults,
-            leases=self.leases, on_failure=QUARANTINE)
+            leases=self.leases, on_failure=QUARANTINE,
+            checkpoint=self.checkpoint)
         batch_s = watch.elapsed()
         self.registry.observe("service.batch_s", batch_s)
         # Quarantine records carry the per-position spec, so identity maps

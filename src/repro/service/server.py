@@ -141,6 +141,7 @@ class ScenarioService:
         elastic_max: int | None = None,
         rid_prefix: str = "",
         on_terminal=None,
+        checkpoint=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.store = store
@@ -169,7 +170,8 @@ class ScenarioService:
             self.queue, store=store, ledger=ledger, salt=salt,
             registry=self.registry, tracer=tracer, batch_size=batch_size,
             max_workers=max_workers, parallel=parallel, retry=retry,
-            faults=faults, leases=leases, elastic_max=elastic_max)
+            faults=faults, leases=leases, elastic_max=elastic_max,
+            checkpoint=checkpoint)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -166,6 +166,7 @@ class ShardConfig:
     parallel: bool = True
     store_max_bytes: int | None = None
     lease_ttl_s: float = 120.0
+    checkpoint_every: int = 0  #: snapshot interval in ticks (0 = off)
     sys_path: tuple[str, ...] = field(default_factory=tuple)
 
 
@@ -187,12 +188,20 @@ def build_shard_service(config: ShardConfig):
     def on_terminal(rec: RequestRecord) -> None:
         spool.append(SPOOL_EVENT, **spool_record(rec))
 
+    checkpoint = None
+    if config.checkpoint_every > 0:
+        from ..checkpoint import CheckpointPlan
+
+        checkpoint = CheckpointPlan(
+            store_root=str(store.root), every=config.checkpoint_every,
+            salt=config.salt, lease_root=str(lease_dir(store.root)))
     service = ScenarioService(
         store=store, salt=config.salt, capacity=config.capacity,
         aging_every=config.aging_every, batch_size=config.batch_size,
         elastic_max=config.elastic_max, max_workers=config.max_workers,
         parallel=config.parallel, leases=leases,
-        rid_prefix=f"s{config.index}-", on_terminal=on_terminal)
+        rid_prefix=f"s{config.index}-", on_terminal=on_terminal,
+        checkpoint=checkpoint)
     return service, store
 
 
@@ -275,7 +284,8 @@ class ShardFleet:
                  elastic_max: int | None = None,
                  max_workers: int | None = None, parallel: bool = True,
                  store_max_bytes: int | None = None,
-                 lease_ttl_s: float = 120.0) -> None:
+                 lease_ttl_s: float = 120.0,
+                 checkpoint_every: int = 0) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.store_root = Path(store_root)
@@ -289,7 +299,8 @@ class ShardFleet:
             salt=salt, capacity=capacity, aging_every=aging_every,
             batch_size=batch_size, elastic_max=elastic_max,
             max_workers=max_workers, parallel=parallel,
-            store_max_bytes=store_max_bytes, lease_ttl_s=lease_ttl_s)
+            store_max_bytes=store_max_bytes, lease_ttl_s=lease_ttl_s,
+            checkpoint_every=checkpoint_every)
 
     def config_of(self, index: int) -> ShardConfig:
         """The picklable config one shard process is spawned with."""

@@ -54,6 +54,17 @@ _STAT_NAMES = ("hits", "misses", "puts", "evictions", "corrupt")
 #: Reserved payload entry carrying the integrity digest.
 DIGEST_KEY = "__digest__"
 
+#: Key family of in-flight simulation checkpoints (written by
+#: :mod:`repro.checkpoint`); fresh members are exempt from LRU eviction.
+CHECKPOINT_FAMILY = "checkpoint/v1"
+
+#: How long a checkpoint blob stays gc-exempt after its last touch.
+#: Matched to the :class:`LeaseTable` default TTL: while the executing
+#: worker heartbeats (one checkpoint write per interval), its snapshots
+#: stay younger than this and the LRU sweep cannot evict the very blobs
+#: a crash recovery is about to need.
+CHECKPOINT_EXEMPT_TTL_S = 120.0
+
 
 def payload_digest(payload: Mapping[str, np.ndarray]) -> np.ndarray:
     """SHA-256 over a payload's names, dtypes, shapes and bytes.
@@ -334,11 +345,23 @@ class ContentStore:
         bound = self.max_bytes if max_bytes is None else max_bytes
         if bound is None:
             raise ValueError("gc needs a size bound")
+        index = self._family_index()
+        now = time.time()
         blobs = []
+        exempt_bytes = 0
         for blob in self._objects.glob("??/*.npz"):
             st = blob.stat()
+            # In-flight checkpoints are not eviction fodder: losing one
+            # turns a cheap resume into a tick-0 re-execution.  They still
+            # count toward the bound (disk is disk); once the instance
+            # finishes they are discarded outright, and once abandoned
+            # (older than the lease TTL) they rejoin the LRU order.
+            if (index.get(blob.stem) == CHECKPOINT_FAMILY
+                    and now - st.st_mtime <= CHECKPOINT_EXEMPT_TTL_S):
+                exempt_bytes += st.st_size
+                continue
             blobs.append((st.st_mtime, st.st_size, blob))
-        total = sum(size for _, size, _ in blobs)
+        total = exempt_bytes + sum(size for _, size, _ in blobs)
         evicted: list[str] = []
         for _mtime, size, blob in sorted(blobs):
             if total <= bound:
@@ -456,6 +479,34 @@ class LeaseTable:
             return False
         finally:
             os.unlink(tmp)
+
+    def renew(self, key: str) -> bool:
+        """Heartbeat: re-stamp the lease's timestamp, keeping its holder.
+
+        Called from the process actually executing the key (a pool worker
+        writing a checkpoint), which is generally *not* the lease owner
+        (the broker's memoized fan-out acquired it) — so unlike
+        :meth:`release` this deliberately rewrites another owner's record,
+        preserving its ``owner``/``pid`` fields.  A slow-but-alive
+        instance thereby outlives the TTL stale-break, while a holder
+        whose pid is dead stays breakable regardless of freshness (the
+        pid liveness check runs whenever the TTL has not lapsed).
+        """
+        path = self.path_of(key)
+        holder = self.holder(key)
+        if not holder:
+            return False  # free or torn: nothing worth re-stamping
+        record = json.dumps({**holder, "ts": time.time()})
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(record)
+            os.replace(tmp, path)
+        except OSError:
+            Path(tmp).unlink(missing_ok=True)
+            return False
+        self.metrics.inc("lease.renewed")
+        return True
 
     def release(self, key: str) -> bool:
         """Drop the lease if this table's owner holds it (lock hygiene:

@@ -74,6 +74,7 @@ def _resolve_remote(
     retry,
     faults,
     timeout_s: float,
+    checkpoint=None,
 ) -> tuple["InstanceOutcome | None", QuarantineRecord | None]:
     """Resolve a miss whose lease another process holds.
 
@@ -104,12 +105,15 @@ def _resolve_remote(
         try:
             res = supervise_instances(
                 [spec], parallel=False, registry=registry, retry=retry,
-                faults=faults, ledger=ledger, on_failure=QUARANTINE)
+                faults=faults, ledger=ledger, on_failure=QUARANTINE,
+                checkpoint=checkpoint)
             outcome = res.results[0]
             if outcome is None:
                 return None, res.quarantined[0]
             store.put(key, outcome_payload(outcome),
                       family=INSTANCE_NAMESPACE)
+            if checkpoint is not None and checkpoint.enabled:
+                checkpoint.manager(metrics=registry).discard(key)
             if ledger is not None:
                 from ..surrogate.corpus import spec_record
 
@@ -138,6 +142,7 @@ def supervise_instances_memoized(
     on_failure: str = QUARANTINE,
     leases: LeaseTable | None = None,
     lease_timeout_s: float = 300.0,
+    checkpoint=None,
 ) -> FanoutResult:
     """Execute instances through the result store, under supervision.
 
@@ -178,6 +183,11 @@ def supervise_instances_memoized(
             coalescing), falling back to local execution if the holder
             vanishes without publishing.
         lease_timeout_s: per-key bound on waiting for a remote executor.
+        checkpoint: optional :class:`~repro.checkpoint.CheckpointPlan`
+            forwarded to the fan-out; once a miss's terminal result blob
+            is durable, its checkpoint chain is discarded (snapshots of
+            a finished instance are pure disk overhead) and the
+            reclaimed bytes counted under ``checkpoint.reclaimed_bytes``.
 
     Returns:
         A :class:`~repro.resilience.supervisor.FanoutResult` whose
@@ -197,7 +207,7 @@ def supervise_instances_memoized(
         res = supervise_instances(
             specs, parallel=parallel, max_workers=max_workers,
             registry=reg, retry=retry, faults=faults, ledger=ledger,
-            on_failure=on_failure)
+            on_failure=on_failure, checkpoint=checkpoint)
         reg.inc("memo.misses", len(specs))
         reg.observe("memo.batch_s", watch.elapsed())
         if ledger is not None:
@@ -260,6 +270,9 @@ def supervise_instances_memoized(
                 ledger.cache_hit(key, label=specs[i].label, remote=True)
 
     exec_idx = sorted(exec_of.values())
+    ck_manager = (checkpoint.manager(metrics=reg)
+                  if checkpoint is not None and checkpoint.enabled
+                  else None)
     # Quarantine records arrive sorted by position, so pairing them with
     # the None slots of the execution results is a simple in-order walk.
     failed_of: dict[str, object] = {}
@@ -267,7 +280,8 @@ def supervise_instances_memoized(
         res = supervise_instances(
             [specs[i] for i in exec_idx], parallel=parallel,
             max_workers=max_workers, registry=reg, retry=retry,
-            faults=faults, ledger=ledger, on_failure=on_failure)
+            faults=faults, ledger=ledger, on_failure=on_failure,
+            checkpoint=checkpoint)
         qiter = iter(res.quarantined)
         for i, outcome in zip(exec_idx, res.results):
             if outcome is None:
@@ -276,6 +290,10 @@ def supervise_instances_memoized(
             store.put(keys[i], outcome_payload(outcome),
                       family=INSTANCE_NAMESPACE)
             base_of[keys[i]] = outcome
+            if ck_manager is not None:
+                # Terminal blob is durable: the checkpoint chain is now
+                # dead weight — reclaim it.
+                ck_manager.discard(keys[i])
             if ledger is not None:
                 # Completion events carry the spec itself: the surrogate
                 # corpus builder replays these to recover (features, output)
@@ -293,7 +311,7 @@ def supervise_instances_memoized(
         outcome, rec = _resolve_remote(
             specs[i], key, store=store, leases=leases, ledger=ledger,
             registry=reg, retry=retry, faults=faults,
-            timeout_s=lease_timeout_s)
+            timeout_s=lease_timeout_s, checkpoint=checkpoint)
         if outcome is not None:
             base_of[key] = outcome
         else:
@@ -333,7 +351,8 @@ def supervise_instances_memoized(
                              wall_s=watch.elapsed(), **extra)
     return FanoutResult(results=out, quarantined=quarantined,
                         attempts=res.attempts, retries=res.retries,
-                        pool_rebuilds=res.pool_rebuilds)
+                        pool_rebuilds=res.pool_rebuilds,
+                        ticks_saved=res.ticks_saved)
 
 
 def run_instances_memoized(
@@ -348,6 +367,7 @@ def run_instances_memoized(
     retry=None,
     faults=None,
     leases: LeaseTable | None = None,
+    checkpoint=None,
 ) -> list["InstanceOutcome"]:
     """Execute instances through the result store.
 
@@ -383,5 +403,6 @@ def run_instances_memoized(
     res = supervise_instances_memoized(
         specs, store=store, ledger=ledger, salt=salt,
         max_workers=max_workers, parallel=parallel, registry=registry,
-        retry=retry, faults=faults, on_failure=RAISE, leases=leases)
+        retry=retry, faults=faults, on_failure=RAISE, leases=leases,
+        checkpoint=checkpoint)
     return res.results  # type: ignore[return-value] — RAISE means no Nones

@@ -1,0 +1,211 @@
+"""CheckpointManager: durable chains, fallback, heartbeats, reclamation.
+
+Snapshots ride the CAS as ``checkpoint/v1`` blobs keyed by (instance
+key, tick) with an atomically replaced per-instance pointer file.  The
+manager must fall back past missing/corrupt blobs (quarantining them),
+heartbeat the instance's lease on every write, survive the store's LRU
+gc while in flight, and reclaim the whole chain once the instance's
+terminal result lands.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    CheckpointPlan,
+    checkpoint_blob_key,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.store.cas import (
+    CHECKPOINT_EXEMPT_TTL_S,
+    CHECKPOINT_FAMILY,
+    ContentStore,
+    LeaseTable,
+)
+from repro.store.ledger import replay_ledger
+
+KEY = "cd" * 32
+
+
+def payload(tick):
+    return {"state": np.arange(tick, tick + 8, dtype=np.int64),
+            "rng": np.array([tick], dtype=np.uint64)}
+
+
+@pytest.fixture()
+def plan(tmp_path):
+    return CheckpointPlan(store_root=str(tmp_path / "store"), every=5)
+
+
+@pytest.fixture()
+def manager(plan):
+    return plan.manager(metrics=MetricsRegistry())
+
+
+class TestPlan:
+    def test_disabled_when_every_is_zero(self, tmp_path):
+        assert not CheckpointPlan(store_root=str(tmp_path), every=0).enabled
+        assert CheckpointPlan(store_root=str(tmp_path), every=5).enabled
+
+    def test_blob_key_is_stable_and_distinct(self):
+        assert checkpoint_blob_key(KEY, 5) == checkpoint_blob_key(KEY, 5)
+        assert checkpoint_blob_key(KEY, 5) != checkpoint_blob_key(KEY, 6)
+        assert checkpoint_blob_key(KEY, 5) != checkpoint_blob_key("ef" * 32, 5)
+
+
+class TestChain:
+    def test_write_records_pointer_and_counters(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        assert manager.ticks(KEY) == [5, 10]
+        assert manager.latest_tick(KEY) == 10
+        assert manager.metrics.value("checkpoint.written") == 2
+        assert manager.metrics.value("checkpoint.bytes") > 0
+
+    def test_load_latest_returns_newest(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        tick, loaded = manager.load_latest(KEY)
+        assert tick == 10
+        assert np.array_equal(loaded["state"], payload(10)["state"])
+
+    def test_empty_chain_loads_none(self, manager):
+        assert manager.load_latest(KEY) is None
+        assert manager.ticks(KEY) == []
+
+    def test_missing_blob_falls_back_to_older(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        manager.store.path_of(checkpoint_blob_key(KEY, 10)).unlink()
+        tick, _loaded = manager.load_latest(KEY)
+        assert tick == 5
+        assert manager.metrics.value("checkpoint.invalid") == 1
+        assert manager.ticks(KEY) == [5]
+
+    def test_corrupt_blob_quarantined_falls_back(self, manager):
+        """A flipped byte fails the CAS digest: served as a miss, chain
+        falls back to the next-older snapshot."""
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        blob = manager.store.path_of(checkpoint_blob_key(KEY, 10))
+        raw = bytearray(blob.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+        tick, _loaded = manager.load_latest(KEY)
+        assert tick == 5
+        assert manager.metrics.value("checkpoint.invalid") == 1
+
+    def test_invalidate_removes_tick(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        manager.invalidate(KEY, 10)
+        assert manager.ticks(KEY) == [5]
+        assert manager.metrics.value("checkpoint.invalid") == 1
+
+    def test_resumed_accounts_ticks_saved(self, manager):
+        manager.resumed(KEY, 40, attempt=2)
+        assert manager.metrics.value("checkpoint.resumed") == 1
+        assert manager.metrics.value("checkpoint.ticks_saved") == 40
+
+    def test_discard_reclaims_the_chain(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        manager.write(KEY, payload(10), tick=10)
+        reclaimed = manager.discard(KEY)
+        assert reclaimed > 0
+        assert manager.metrics.value("checkpoint.reclaimed_bytes") == reclaimed
+        assert manager.ticks(KEY) == []
+        assert manager.load_latest(KEY) is None
+        assert not manager.pointer_path(KEY).exists()
+
+    def test_discard_empty_chain_is_noop(self, manager):
+        assert manager.discard(KEY) == 0
+
+
+class TestLedgerEvents:
+    def test_lifecycle_events_journal(self, tmp_path):
+        plan = CheckpointPlan(store_root=str(tmp_path / "store"), every=5,
+                              ledger_path=str(tmp_path / "run.jsonl"))
+        manager = plan.manager(metrics=MetricsRegistry())
+        manager.write(KEY, payload(5), tick=5)
+        manager.resumed(KEY, 5, attempt=1)
+        manager.invalidate(KEY, 5)
+        manager.write(KEY, payload(10), tick=10)
+        manager.discard(KEY)
+        events = [json.loads(line)["event"]
+                  for line in (tmp_path / "run.jsonl").read_text(
+                      encoding="utf-8").splitlines()]
+        assert events == ["checkpoint_written", "checkpoint_resumed",
+                          "checkpoint_invalid", "checkpoint_written",
+                          "checkpoint_discarded"]
+
+    def test_replay_sees_checkpoint_events(self, tmp_path):
+        plan = CheckpointPlan(store_root=str(tmp_path / "store"), every=5,
+                              ledger_path=str(tmp_path / "run.jsonl"))
+        manager = plan.manager(metrics=MetricsRegistry())
+        manager.write(KEY, payload(5), tick=5)
+        replayed = replay_ledger(tmp_path / "run.jsonl")
+        assert replayed.count("checkpoint_written") == 1
+
+
+class TestLeaseHeartbeat:
+    def test_write_renews_anothers_lease(self, tmp_path):
+        """The executing worker is generally not the lease owner (the
+        broker's fan-out acquired it) — the heartbeat must re-stamp the
+        *owner's* record, preserving its identity."""
+        leases = LeaseTable(tmp_path / "leases", owner="broker")
+        assert leases.acquire(KEY)
+        stale_ts = leases.holder(KEY)["ts"] - 3600.0
+        path = leases.path_of(KEY)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["ts"] = stale_ts
+        path.write_text(json.dumps(record), encoding="utf-8")
+
+        plan = CheckpointPlan(store_root=str(tmp_path / "store"), every=5,
+                              lease_root=str(tmp_path / "leases"))
+        plan.manager(metrics=MetricsRegistry()).write(KEY, payload(5),
+                                                      tick=5)
+        holder = leases.holder(KEY)
+        assert holder["owner"] == "broker"
+        assert holder["pid"] == os.getpid()
+        assert holder["ts"] > stale_ts + 3000.0
+
+    def test_write_without_lease_root_needs_no_table(self, tmp_path):
+        plan = CheckpointPlan(store_root=str(tmp_path / "store"), every=5)
+        plan.manager(metrics=MetricsRegistry()).write(KEY, payload(5),
+                                                      tick=5)
+        assert not (tmp_path / "leases").exists()
+
+
+class TestGcExemption:
+    def test_fresh_checkpoints_survive_gc(self, manager):
+        """satellite: gc must not evict checkpoints of in-flight
+        instances — losing one turns a cheap resume into a tick-0 rerun."""
+        manager.write(KEY, payload(5), tick=5)
+        store = ContentStore(manager.store.root)
+        store.put("aa" * 32, {"x": np.zeros(4096)})
+        old_blob = store.path_of("aa" * 32)
+        past = old_blob.stat().st_mtime - 7200
+        os.utime(old_blob, (past, past))
+        evicted = store.gc(max_bytes=0)
+        assert "aa" * 32 in evicted
+        assert checkpoint_blob_key(KEY, 5) not in evicted
+        assert manager.load_latest(KEY) is not None
+
+    def test_abandoned_checkpoints_rejoin_the_lru(self, manager):
+        """Older than the lease TTL = nobody is coming back for it."""
+        manager.write(KEY, payload(5), tick=5)
+        blob = manager.store.path_of(checkpoint_blob_key(KEY, 5))
+        past = blob.stat().st_mtime - (CHECKPOINT_EXEMPT_TTL_S + 60)
+        os.utime(blob, (past, past))
+        store = ContentStore(manager.store.root)
+        evicted = store.gc(max_bytes=0)
+        assert checkpoint_blob_key(KEY, 5) in evicted
+
+    def test_checkpoints_are_family_labelled(self, manager):
+        manager.write(KEY, payload(5), tick=5)
+        counts = ContentStore(manager.store.root).family_counts()
+        assert counts.get(CHECKPOINT_FAMILY) == 1

@@ -12,6 +12,7 @@ pytestmark = pytest.mark.fast
 def test_sites_cover_all_layers():
     assert set(FAULT_SITES) == {
         "worker.crash", "worker.exception", "worker.slow",
+        "worker.crash_mid_run",
         "cas.corrupt", "transfer.fail", "ledger.torn",
     }
 

@@ -96,6 +96,49 @@ class TestStaleness:
         assert not table.acquire(KEY)
 
 
+class TestHeartbeat:
+    def test_renew_restamps_preserving_identity(self, tmp_path, table):
+        table.acquire(KEY)
+        before = table.holder(KEY)
+        assert table.renew(KEY)
+        after = table.holder(KEY)
+        assert after["owner"] == before["owner"]
+        assert after["pid"] == before["pid"]
+        assert after["ts"] >= before["ts"]
+        assert table.metrics.value("lease.renewed") == 1
+
+    def test_renewed_slow_holder_is_not_stolen(self, tmp_path):
+        """satellite: a slow-but-alive worker heartbeats on checkpoint
+        writes — after renewal a lease whose original stamp has lapsed
+        the TTL must NOT be re-acquirable by a contender."""
+        table = LeaseTable(tmp_path / "leases", owner="slow", ttl_s=30.0)
+        assert table.acquire(KEY)
+        path = table.path_of(KEY)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["ts"] -= 3600.0
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert table.renew(KEY)
+        other = LeaseTable(tmp_path / "leases", owner="thief", ttl_s=30.0)
+        assert not other.acquire(KEY)
+        assert table.holder(KEY)["owner"] == "slow"
+
+    def test_dead_pid_is_stolen_despite_fresh_stamp(self, tmp_path, table):
+        """Heartbeats don't shield a corpse: a fresh ts with a dead owner
+        pid is still stale (the liveness probe outranks the clock)."""
+        table.path_of(KEY).write_text(json.dumps(
+            {"owner": "ghost", "pid": 2 ** 22 + 1, "ts": 10.0 ** 10}))
+        assert table.acquire(KEY)
+        assert table.holder(KEY)["owner"] == "me"
+
+    def test_renew_on_free_key_is_noop(self, table):
+        assert not table.renew(KEY)
+        assert not table.path_of(KEY).exists()
+
+    def test_renew_on_torn_record_is_noop(self, table):
+        table.path_of(KEY).write_text('{"owner": "half')
+        assert not table.renew(KEY)
+
+
 class TestWait:
     def test_done_when_predicate_turns_true(self, tmp_path, table):
         other = LeaseTable(tmp_path / "leases", owner="other")
