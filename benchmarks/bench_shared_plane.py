@@ -1,0 +1,144 @@
+"""Shared plane vs private copies: incremental per-worker memory.
+
+Eight spawn-context workers load the same region bundle (VA at 1e-2 —
+85k persons, 300k edges, a ~12 MB packed bundle) and report how much
+*proportional* resident memory (PSS, from ``/proc/self/smaps_rollup``)
+the load added.  PSS divides shared pages among their mappers, so it is
+the honest per-process cost: with private copies every worker is charged
+the full bundle; attached to the plane the bundle's pages are charged
+once across the whole fleet.
+
+The companion numbers are warm-up latency: a copy-mode worker pays the
+full synthesis (population + network + surveillance) while a plane-mode
+worker pays one attach (manifest read + mmap + view construction).
+
+All workers hold their mapping simultaneously behind a barrier while
+PSS is sampled, mirroring a warm pool at steady state.
+"""
+
+import multiprocessing as mp
+import os
+import time
+
+REGION, SCALE, SEED = "VA", 1e-2, 0
+N_WORKERS = 8
+BARRIER_TIMEOUT_S = 300.0
+
+
+def _pss_kb() -> int:
+    with open("/proc/self/smaps_rollup", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("Pss:"):
+                return int(line.split()[1])
+    raise RuntimeError("no Pss line in smaps_rollup")
+
+
+def _worker(plane_dir, barrier, out, idx):
+    if plane_dir is not None:
+        os.environ["REPRO_PLANE"] = "1"
+        os.environ["REPRO_PLANE_DIR"] = plane_dir
+    else:
+        os.environ.pop("REPRO_PLANE", None)
+    import gc
+
+    from repro.core.runner import load_region_assets
+
+    barrier.wait(BARRIER_TIMEOUT_S)  # imports paid before the baseline
+    base = _pss_kb()
+    t0 = time.perf_counter()
+    assets = load_region_assets(REGION, SCALE, SEED)
+    warm_s = time.perf_counter() - t0
+    assert assets.pop.size > 0
+    gc.collect()
+    barrier.wait(BARRIER_TIMEOUT_S)  # every sharer mapped before sampling
+    out.put((idx, _pss_kb() - base, warm_s))
+    barrier.wait(BARRIER_TIMEOUT_S)  # hold the mapping until all sampled
+
+
+def _run_fleet(plane_dir):
+    """Per-worker (delta_kb, warm_s) for an N_WORKERS fleet."""
+    ctx = mp.get_context("spawn")
+    barrier = ctx.Barrier(N_WORKERS + 1)
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_worker, args=(plane_dir, barrier, out, i),
+                         daemon=True)
+             for i in range(N_WORKERS)]
+    for p in procs:
+        p.start()
+    try:
+        barrier.wait(BARRIER_TIMEOUT_S)
+        barrier.wait(BARRIER_TIMEOUT_S)
+        rows = sorted(out.get(timeout=BARRIER_TIMEOUT_S)
+                      for _ in range(N_WORKERS))
+        barrier.wait(BARRIER_TIMEOUT_S)
+    finally:
+        for p in procs:
+            p.join(timeout=30)
+    return [r[1] for r in rows], [r[2] for r in rows]
+
+
+def _experiment(plane_dir):
+    copy_deltas, copy_warm = _run_fleet(None)
+
+    # Plane mode: the parent pre-builds once (the warm-pool supervisor's
+    # role), then the fleet attaches.
+    os.environ["REPRO_PLANE"] = "1"
+    os.environ["REPRO_PLANE_DIR"] = plane_dir
+    try:
+        from repro.core.runner import load_region_assets
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        t0 = time.perf_counter()
+        load_region_assets(REGION, SCALE, SEED, metrics=reg)
+        build_s = time.perf_counter() - t0
+        assert int(reg.value("plane.built")) == 1
+        plane_deltas, plane_warm = _run_fleet(plane_dir)
+    finally:
+        os.environ.pop("REPRO_PLANE", None)
+        os.environ.pop("REPRO_PLANE_DIR", None)
+    return {
+        "copy_deltas": copy_deltas, "copy_warm": copy_warm,
+        "plane_deltas": plane_deltas, "plane_warm": plane_warm,
+        "build_s": build_s,
+        "bundle_bytes": int(reg.value("plane.bytes")),
+    }
+
+
+def test_shared_plane_worker_memory(benchmark, save_artifact, tmp_path):
+    res = benchmark.pedantic(_experiment, args=(str(tmp_path / "plane"),),
+                             rounds=1, iterations=1)
+    # Drop the runtime's own attachment so the segment is reclaimed and
+    # later benchmarks see a clean /dev/shm.
+    from repro.plane import plane_gc, runtime
+    runtime(tmp_path / "plane").shutdown()
+    plane_gc(tmp_path / "plane")
+
+    copy_kb = sum(res["copy_deltas"]) / N_WORKERS
+    plane_kb = sum(res["plane_deltas"]) / N_WORKERS
+    ratio = copy_kb / max(1.0, plane_kb)
+    copy_warm = sum(res["copy_warm"]) / N_WORKERS
+    plane_warm = sum(res["plane_warm"]) / N_WORKERS
+
+    lines = [
+        f"{REGION} @ {SCALE:g} (seed {SEED}): "
+        f"bundle {res['bundle_bytes']:,} B, fleet of {N_WORKERS} "
+        f"spawn workers, PSS from /proc/self/smaps_rollup",
+        "",
+        f"{'mode':<8}{'per-worker KiB':>16}{'warm-up s':>12}",
+        f"{'copy':<8}{copy_kb:>16,.0f}{copy_warm:>12.2f}",
+        f"{'plane':<8}{plane_kb:>16,.0f}{plane_warm:>12.3f}",
+        "",
+        f"incremental per-worker memory: {ratio:.1f}x lower on the plane",
+        f"one-time plane build in the parent: {res['build_s']:.2f}s",
+        "",
+        f"copy  deltas KiB: {[f'{d:,}' for d in res['copy_deltas']]}",
+        f"plane deltas KiB: {[f'{d:,}' for d in res['plane_deltas']]}",
+    ]
+    save_artifact("shared_plane", "\n".join(lines))
+
+    # Acceptance: a warm 8-worker pool costs >= 5x less incremental
+    # per-worker memory when attached to the plane.
+    assert ratio >= 5.0, f"plane saved only {ratio:.1f}x"
+    # Attach must also be far cheaper than synthesis.
+    assert plane_warm < copy_warm

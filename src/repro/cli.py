@@ -8,6 +8,7 @@ Subcommands mirror the operational steps of the paper's pipeline::
     repro calibrate VA --cells 30 --days 80   # case-study-3 calibration
     repro night prediction                    # orchestrate a nightly cycle
     repro store stats                         # result-store maintenance
+    repro plane stats                         # shared-memory asset plane
     repro trace summarize                     # where did the night go?
     repro chaos run VA --inject worker.crash:times=1   # fault drill
     repro serve --port 8377                   # always-on scenario service
@@ -145,6 +146,52 @@ def _resolve_tracer(args: argparse.Namespace, run_id: str):
     return Tracer(path, run_id=run_id)
 
 
+def _add_plane_flags(p: argparse.ArgumentParser) -> None:
+    """The shared-memory population-plane options."""
+    p.add_argument("--plane", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="share region asset bundles across workers through "
+                        "the shared-memory population plane (default: on "
+                        "when REPRO_PLANE is set; --no-plane forces off)")
+    p.add_argument("--plane-dir", metavar="DIR",
+                   help="plane coordination directory (default "
+                        "REPRO_PLANE_DIR or a per-user temp dir)")
+
+
+def _enable_plane(args: argparse.Namespace) -> bool:
+    """Apply the plane flags to the environment; True when active.
+
+    Pool workers and service shards inherit the decision through
+    ``REPRO_PLANE`` / ``REPRO_PLANE_DIR``, so this must run before any
+    child process is spawned.
+    """
+    import os
+
+    from .plane import plane_enabled
+
+    if getattr(args, "plane_dir", None):
+        os.environ["REPRO_PLANE_DIR"] = args.plane_dir
+    plane = getattr(args, "plane", None)
+    if plane is None:
+        return plane_enabled()
+    if plane:
+        os.environ["REPRO_PLANE"] = "1"
+    else:
+        os.environ.pop("REPRO_PLANE", None)
+    return bool(plane)
+
+
+def _fmt_bytes(n: int) -> str:
+    """``141152`` -> ``'137.8 KiB'`` (stats output)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:,.0f} {unit}" if unit == "B"
+                    else f"{value:,.1f} {unit}")
+        value /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .cluster.machines import BRIDGES, RIVANNA
     from .scheduling.categories import category_table
@@ -237,6 +284,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.parallel import InstanceSpec
     from .store.keys import instance_key
 
+    _enable_plane(args)
     if args.replicates > 1:
         return _cmd_simulate_replicates(args)
     store = _resolve_store(args)
@@ -386,6 +434,36 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _night_prebuild_plane(design, seed: int) -> None:
+    """Stage the design's region bundles on this node's plane.
+
+    ``orchestrate_night`` models remote execution, so the prebuild is the
+    night's node-local side effect: every region in the design gets its
+    asset bundle built exactly once into shared memory before the cycle
+    starts.  ``REPRO_PLANE_KEEP`` is set so the segments outlive this
+    process and serve the workers that later run the design for real;
+    ``repro plane gc`` reclaims them.
+    """
+    import os
+
+    os.environ.setdefault("REPRO_PLANE_KEEP", "1")
+    from .core.runner import load_region_assets
+    from .obs import MetricsRegistry
+    from .params import DEFAULT_SCALE
+
+    reg = MetricsRegistry()
+    for region in design.regions:
+        load_region_assets(region, DEFAULT_SCALE, seed, metrics=reg)
+    built = int(reg.value("plane.built"))
+    if int(reg.value("plane.fallbacks")):
+        print("plane: shared memory unavailable — bundles built privately, "
+              "nothing staged", file=sys.stderr)
+        return
+    print(f"plane: staged {built} of {design.n_regions} region bundles "
+          f"({int(reg.value('plane.bytes')):,} new shared bytes; "
+          f"{design.n_regions - built} were already on the plane)")
+
+
 def _cmd_night(args: argparse.Namespace) -> int:
     from .core.designs import (
         calibration_design,
@@ -400,6 +478,8 @@ def _cmd_night(args: argparse.Namespace) -> int:
         "calibration": lambda: calibration_design(seed=args.seed),
     }
     design = designs[args.workflow]()
+    if _enable_plane(args):
+        _night_prebuild_plane(design, seed=args.seed)
     if args.resume and args.no_cache:
         raise SystemExit("--resume and --no-cache are contradictory")
     resume = args.resume
@@ -600,6 +680,65 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plane(args: argparse.Namespace) -> int:
+    import os
+
+    if getattr(args, "dir", None):
+        os.environ["REPRO_PLANE_DIR"] = args.dir
+
+    if args.action == "stats":
+        from .plane import plane_stats
+
+        stats = plane_stats()
+        state = ("available" if stats["available"]
+                 else f"UNAVAILABLE ({stats['disabled_reason']})")
+        print(f"plane root: {stats['root']} (shm {state})")
+        for seg in stats["segments"]:
+            owner = (f"owner {seg['owner_pid']}"
+                     + ("" if seg["owner_alive"] else " [dead]"))
+            print(f"  {seg['segment']}  {seg['region_code']} "
+                  f"scale={seg['scale']:g} seed={seg['seed']} "
+                  f"days={seg['truth_days']}  "
+                  f"{_fmt_bytes(seg['nbytes'])}  "
+                  f"refs={seg['live_refs']}  {owner}")
+        print(f"{len(stats['segments'])} segment(s), "
+              f"{_fmt_bytes(stats['total_bytes'])} shared")
+        return 0
+
+    if args.action == "gc":
+        from .plane import plane_gc
+
+        st = plane_gc()
+        print(f"reclaimed {st['reclaimed']} of {st['segments']} segment(s) "
+              f"({_fmt_bytes(st['reclaimed_bytes'])}), kept {st['kept']} "
+              f"with live refs, removed {st['orphans']} orphan segment(s)")
+        return 0
+
+    # build: stage bundles that outlive this process (the exit reap is
+    # skipped via REPRO_PLANE_KEEP; 'repro plane gc' reclaims them).
+    os.environ["REPRO_PLANE"] = "1"
+    os.environ.setdefault("REPRO_PLANE_KEEP", "1")
+    from .core.runner import load_region_assets
+    from .obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for region in args.regions:
+        assets = load_region_assets(region, args.scale, args.seed,
+                                    metrics=reg)
+        print(f"{region}: {assets.pop.size:,} persons, "
+              f"{assets.net.n_edges:,} edges")
+    if int(reg.value("plane.fallbacks")):
+        print("plane unavailable: bundles were built privately, nothing "
+              "staged (check /dev/shm)", file=sys.stderr)
+        return 1
+    built = int(reg.value("plane.built"))
+    print(f"staged {built} new segment(s) "
+          f"({int(reg.value('plane.bytes')):,} bytes); "
+          f"{len(args.regions) - built} already on the plane. "
+          f"Segments persist until 'repro plane gc'.")
+    return 0
+
+
 def _surrogate_store(args: argparse.Namespace):
     """The store a ``repro surrogate`` action operates on."""
     from .store import ContentStore, default_store
@@ -706,7 +845,8 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         capacity=args.capacity, aging_every=args.aging_every,
         batch_size=args.batch_size, elastic_max=args.elastic_max,
         max_workers=args.workers, parallel=not args.serial,
-        checkpoint_every=args.checkpoint_every)
+        checkpoint_every=args.checkpoint_every,
+        plane=_enable_plane(args), plane_dir=args.plane_dir or None)
     fleet.start()
     router = Router.for_fleet(fleet)
     server = make_router_server(router, host=args.host, port=args.port)
@@ -743,6 +883,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.shards > 1:
         return _serve_fleet(args)
+    _enable_plane(args)  # before the pool spawns: workers inherit the env
     store = _resolve_store(args)
     ledger = _resolve_ledger(args)
     tracer = _resolve_tracer(args, run_id="serve")
@@ -969,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the store)")
     _add_cache_flags(p)
     _add_trace_flags(p)
+    _add_plane_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("calibrate", help="run the calibration workflow")
@@ -1008,6 +1150,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0 = off)")
     _add_cache_flags(p)
     _add_trace_flags(p)
+    _add_plane_flags(p)
     p.set_defaults(func=_cmd_night)
 
     p = sub.add_parser(
@@ -1101,6 +1244,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "restarting (default 0 = off; needs the store)")
     _add_cache_flags(p)
     _add_trace_flags(p)
+    _add_plane_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1206,6 +1350,27 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--max-bytes", type=int, required=True,
                             help="size bound to evict down to")
         sp.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser(
+        "plane", help="inspect or manage the shared-memory population plane")
+    psub = p.add_subparsers(dest="action", required=True)
+    for action, desc in (
+            ("stats", "staged segments, shared bytes, live refs"),
+            ("gc", "reclaim unreferenced and orphaned segments"),
+            ("build", "pre-stage region bundles that outlive this process")):
+        sp = psub.add_parser(action, help=desc)
+        sp.add_argument("--dir", metavar="DIR",
+                        help="plane coordination directory (default "
+                             "REPRO_PLANE_DIR or a per-user temp dir)")
+        if action == "build":
+            sp.add_argument("regions", nargs="+", metavar="REGION")
+            sp.add_argument("--scale", type=float, default=1e-3,
+                            help="population scale (default 1e-3, matching "
+                                 "'repro simulate')")
+            sp.add_argument("--seed", type=int, default=0,
+                            help="asset seed (default 0, matching "
+                                 "'repro simulate')")
+        sp.set_defaults(func=_cmd_plane)
 
     return parser
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..plane.manifest import AssetKey
+
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from .parallel import InstanceSpec
 
@@ -71,19 +73,19 @@ def max_batch_lanes() -> int:
     return value
 
 
-def group_key(spec: "InstanceSpec") -> tuple[str, float, int, int]:
+def group_key(spec: "InstanceSpec") -> tuple[AssetKey, int]:
     """The sharing key two specs must agree on to ride one batch.
 
-    ``(region_code, scale, asset_seed, n_days)`` — the fields that pin the
-    shared population/network/surveillance assets and the tick horizon.
-    Cell parameters and seeds deliberately do not participate: the batched
-    engine takes heterogeneous models and RNG streams as lanes (it falls
-    back to per-instance execution itself, via
+    The canonical :class:`~repro.plane.manifest.AssetKey` (which pins the
+    shared population/network/surveillance bundle — the same key the
+    runner cache, warm preload, and plane manifest use) plus the tick
+    horizon.  Cell parameters and seeds deliberately do not participate:
+    the batched engine takes heterogeneous models and RNG streams as
+    lanes (it falls back to per-instance execution itself, via
     :class:`~repro.epihiper.batch.BatchIncompatible`, in the rare case a
     parameter produces a structurally incompatible model).
     """
-    return (spec.region_code, float(spec.scale), int(spec.asset_seed),
-            int(spec.n_days))
+    return (AssetKey.of_spec(spec), int(spec.n_days))
 
 
 def batch_groups(

@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from ..plane.manifest import AssetKey, plane_enabled
 from ..resilience.faults import CRASH_EXIT_CODE, FaultPlan, InjectedFault
 from ..resilience.retry import (
     NO_RETRY_POLICY,
@@ -281,9 +282,15 @@ def _execute_group_pooled(specs: list[InstanceSpec], attempt: int,
                           checkpoint=checkpoint)
 
 
-def _asset_key(spec: InstanceSpec) -> tuple[str, float, int]:
-    """The key ``load_region_assets`` caches on."""
-    return (spec.region_code, spec.scale, spec.asset_seed)
+def _asset_key(spec: InstanceSpec) -> AssetKey:
+    """The canonical key ``load_region_assets`` caches on.
+
+    This is :meth:`AssetKey.of_spec` — one key type shared with the
+    runner cache, replicate batch grouping, and the plane manifest, so
+    the warm preload can never drift from what executions actually cache
+    on (the historical tuple dropped ``truth_days``).
+    """
+    return AssetKey.of_spec(spec)
 
 
 def _scaled_timeout_of(checkpoint, retry: RetryPolicy):
@@ -316,12 +323,35 @@ def _scaled_timeout_of(checkpoint, retry: RetryPolicy):
     return timeout_of
 
 
-def _warm_worker(asset_keys: tuple[tuple[str, float, int], ...]) -> None:
-    """Pool initializer: pre-load the dominant assets into the worker LRU."""
-    from .runner import load_region_assets
+def _warm_worker(asset_keys: tuple[AssetKey, ...]) -> None:
+    """Pool initializer: warm the dominant assets into the worker cache.
 
-    for region_code, scale, asset_seed in asset_keys:
-        load_region_assets(region_code, scale, asset_seed)
+    With the plane on this *attaches* read-only zero-copy views to the
+    node's segments (built once by the supervisor's
+    :func:`_prebuild_plane`) instead of rebuilding a private copy per
+    worker — the warm-up cost drops from a full synthesis to an mmap.
+    """
+    from .runner import load_assets
+
+    for key in asset_keys:
+        load_assets(key)
+
+
+def _prebuild_plane(asset_keys: tuple[AssetKey, ...], sink) -> None:
+    """Build the warm set into the node plane before starting the pool.
+
+    One deterministic build in the supervisor instead of a lease race
+    among the first wave of workers: every worker then attaches views,
+    and a fork-context pool inherits the parent's mappings outright.
+    Failures fall through silently — workers simply build private copies.
+    """
+    from .runner import load_assets
+
+    for key in asset_keys:
+        try:
+            load_assets(key, metrics=sink)
+        except Exception:  # noqa: BLE001 — warm-up must never kill the run
+            pass
 
 
 def pool_chunksize(n_specs: int, workers: int) -> int:
@@ -454,6 +484,8 @@ def supervise_instances(
         freq = Counter(_asset_key(gi[0]) for gi in group_items)
         warm_keys = tuple(
             k for k, _ in freq.most_common(max_preload_assets()))
+        if warm_keys and plane_enabled():
+            _prebuild_plane(warm_keys, sink)
 
         def make_group_pool() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
@@ -616,6 +648,8 @@ def _fanout_singles(
         freq = Counter(_asset_key(s) for s in items)
         warm_keys = tuple(
             k for k, _ in freq.most_common(max_preload_assets()))
+        if warm_keys and plane_enabled():
+            _prebuild_plane(warm_keys, sink)
 
         def make_pool() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(

@@ -23,6 +23,7 @@ Recognised cell parameters (all optional):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any
@@ -35,6 +36,7 @@ from ..epihiper.engine import Simulation, SimulationResult
 from ..epihiper.initialization import initialize_from_surveillance
 from ..epihiper.npi import make_d1ct, make_ro, make_sc, make_sh, make_vhi
 from ..params import DEFAULT_SCALE, DEFAULT_SEED
+from ..plane.manifest import AssetKey, plane_enabled
 from ..surveillance.truth import GroundTruth, generate_region_truth
 from ..synthpop.contacts import ContactNetwork, build_region_network
 from ..synthpop.persons import Population
@@ -58,17 +60,108 @@ class RegionAssets:
     scale: float
 
 
-@lru_cache(maxsize=64)
+class _AssetCache:
+    """Per-process LRU of asset bundles, bounded by the preload cap.
+
+    Replaces the historical unbounded-in-practice ``lru_cache(maxsize=64)``:
+    a worker could pin 64 full bundles while the warm-pool preload cap
+    (:func:`~repro.core.parallel.max_preload_assets`) promised at most a
+    handful.  The capacity is re-read on every insert, so deployments that
+    tune ``REPRO_MAX_PRELOAD_ASSETS`` at runtime shrink (or grow) the
+    working set without a restart, and hit/miss/eviction counts publish as
+    ``assets.cache.*`` on the process registry.
+    """
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[AssetKey, RegionAssets] = OrderedDict()
+
+    @staticmethod
+    def capacity() -> int:
+        from .parallel import max_preload_assets
+
+        return max(1, max_preload_assets())
+
+    def get(self, key: AssetKey, reg) -> RegionAssets | None:
+        assets = self._entries.get(key)
+        if assets is None:
+            reg.inc("assets.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        reg.inc("assets.cache.hits")
+        return assets
+
+    def put(self, key: AssetKey, assets: RegionAssets, reg) -> None:
+        self._entries[key] = assets
+        self._entries.move_to_end(key)
+        cap = self.capacity()
+        while len(self._entries) > cap:
+            self._entries.popitem(last=False)
+            reg.inc("assets.cache.evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_ASSET_CACHE = _AssetCache()
+
+
+def _build_assets(key: AssetKey) -> RegionAssets:
+    """Build one region's inputs from scratch (the pre-plane path)."""
+    pop, net = build_region_network(key.region_code, scale=key.scale,
+                                    seed=key.seed)
+    truth = generate_region_truth(key.region_code, n_days=key.truth_days,
+                                  seed=key.seed)
+    return RegionAssets(pop=pop, net=net, truth=truth, scale=key.scale)
+
+
+def load_assets(key: AssetKey, *, metrics=None) -> RegionAssets:
+    """The region assets for ``key``: cache, plane, or a fresh build.
+
+    Resolution order:
+
+    1. the per-process :class:`_AssetCache` (bounded LRU);
+    2. with ``REPRO_PLANE=1``, the node-shared plane — attach (or build
+       exactly once per node) read-only zero-copy views;
+    3. a private build, exactly the historical behaviour — also the
+       silent fallback when the plane is unavailable (no ``/dev/shm``,
+       segment too large, lease timeout).
+    """
+    from ..obs.registry import global_registry
+
+    reg = metrics if metrics is not None else global_registry()
+    assets = _ASSET_CACHE.get(key, reg)
+    if assets is not None:
+        return assets
+    if plane_enabled():
+        from ..plane.lifecycle import ensure_assets
+
+        assets = ensure_assets(key, lambda: _build_assets(key), metrics=reg)
+        if assets is not None:
+            _ASSET_CACHE.put(key, assets, reg)
+            return assets
+    assets = _build_assets(key)
+    _ASSET_CACHE.put(key, assets, reg)
+    return assets
+
+
 def load_region_assets(
     region_code: str,
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     truth_days: int = 210,
+    *,
+    metrics=None,
 ) -> RegionAssets:
     """Build (or reuse) one region's inputs."""
-    pop, net = build_region_network(region_code, scale=scale, seed=seed)
-    truth = generate_region_truth(region_code, n_days=truth_days, seed=seed)
-    return RegionAssets(pop=pop, net=net, truth=truth, scale=scale)
+    return load_assets(AssetKey(region_code, scale, seed, truth_days),
+                       metrics=metrics)
+
+
+#: Back-compat with the ``lru_cache`` surface callers relied on.
+load_region_assets.cache_clear = _ASSET_CACHE.clear  # type: ignore[attr-defined]
 
 
 def build_interventions(params: dict[str, Any]) -> list:
@@ -171,7 +264,7 @@ def execute_spec(spec, *, metrics=None) -> "InstanceOutcome":
     reg = metrics if metrics is not None else global_registry()
     with reg.timer("runner.assets_s"):
         assets = load_region_assets(spec.region_code, spec.scale,
-                                    spec.asset_seed)
+                                    spec.asset_seed, metrics=reg)
     with reg.timer("runner.simulate_s"):
         result, model = run_instance(
             assets, spec.params, n_days=spec.n_days, seed=spec.seed)
@@ -314,7 +407,7 @@ def execute_spec_checkpointed(
     reg = metrics if metrics is not None else global_registry()
     with reg.timer("runner.assets_s"):
         assets = load_region_assets(spec.region_code, spec.scale,
-                                    spec.asset_seed)
+                                    spec.asset_seed, metrics=reg)
     with reg.timer("runner.simulate_s"):
         result, model = run_instance_checkpointed(
             spec, assets, plan=plan, attempt=attempt, faults=faults,
@@ -368,7 +461,7 @@ def execute_specs_batched(
     first = specs[0]
     with reg.timer("runner.assets_s"):
         assets = load_region_assets(first.region_code, first.scale,
-                                    first.asset_seed)
+                                    first.asset_seed, metrics=reg)
     with reg.timer("runner.batch_setup_s"):
         lanes = [prepare_instance(assets, s.params, seed=s.seed)
                  for s in specs]
@@ -439,7 +532,7 @@ def execute_specs_batched_checkpointed(
         ck_keys = [instance_key(s, salt=plan.salt) for s in specs]
     with reg.timer("runner.assets_s"):
         assets = load_region_assets(first.region_code, first.scale,
-                                    first.asset_seed)
+                                    first.asset_seed, metrics=reg)
 
     def build():
         lanes = [prepare_instance(assets, s.params, seed=s.seed)

@@ -1,0 +1,96 @@
+"""RegionAssets ↔ named-array bundle: what the plane actually serialises.
+
+A :class:`~repro.core.runner.RegionAssets` is three columnar dataclasses
+(population, contact network, surveillance truth) plus a scale scalar.
+This module flattens the numpy columns into one ``group.column`` named
+mapping for the segment codec and rebuilds the dataclasses from attached
+views.  Scalars (region code, node count, scale) travel in the manifest's
+``meta`` dict, not the segment.
+
+Rebuilding from *read-only* views is safe by construction:
+
+- every ``__post_init__`` on these dataclasses only validates (or fills
+  defaults we always serialise explicitly, so the fill branch never runs
+  on attach);
+- the engine copies anything it mutates (``active`` → ``base_active``,
+  ``weight`` → ``edge_weight``) before the first tick, so simulations on
+  attached assets are bit-identical to ones on privately built assets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+#: Population columns serialised into the segment, in layout order.
+POP_COLUMNS: tuple[str, ...] = (
+    "pid", "hid", "age", "age_group", "gender", "county",
+    "home_lat", "home_lon", "county_codes",
+)
+
+#: Contact-network columns serialised into the segment, in layout order.
+NET_COLUMNS: tuple[str, ...] = (
+    "source", "target", "start", "duration",
+    "source_activity", "target_activity", "weight", "active",
+)
+
+#: Ground-truth columns serialised into the segment, in layout order.
+TRUTH_COLUMNS: tuple[str, ...] = ("county", "daily", "cumulative")
+
+
+def bundle_arrays(assets) -> tuple[dict, dict[str, np.ndarray]]:
+    """Flatten ``assets`` into ``(meta, arrays)`` for the segment codec.
+
+    ``county_codes`` and ``active`` are serialised even though their
+    dataclasses can derive them, so attach never takes the
+    derive-and-assign branch (which would write through a read-only view).
+    """
+    meta = {
+        "region_code": str(assets.net.region_code),
+        "n_nodes": int(assets.net.n_nodes),
+        "scale": float(assets.scale),
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for name in POP_COLUMNS:
+        arrays[f"pop.{name}"] = getattr(assets.pop, name)
+    for name in NET_COLUMNS:
+        arrays[f"net.{name}"] = getattr(assets.net, name)
+    for name in TRUTH_COLUMNS:
+        arrays[f"truth.{name}"] = getattr(assets.truth, name)
+    return meta, arrays
+
+
+def bundle_nbytes(assets) -> int:
+    """Exact shared bytes one node pays for ``assets`` (segment payload)."""
+    _meta, arrays = bundle_arrays(assets)
+    return int(sum(a.nbytes for a in arrays.values()))
+
+
+def assets_from_views(meta: Mapping, views: Mapping[str, np.ndarray]):
+    """Rebuild a :class:`~repro.core.runner.RegionAssets` over ``views``.
+
+    The returned bundle's arrays alias the shared segment (zero copies);
+    the caller owns keeping the segment mapped while the bundle is live.
+    """
+    from ..core.runner import RegionAssets
+    from ..surveillance.truth import GroundTruth
+    from ..synthpop.contacts import ContactNetwork
+    from ..synthpop.persons import Population
+
+    region = str(meta["region_code"])
+    pop = Population(
+        region_code=region,
+        **{name: views[f"pop.{name}"] for name in POP_COLUMNS},
+    )
+    net = ContactNetwork(
+        region_code=region,
+        n_nodes=int(meta["n_nodes"]),
+        **{name: views[f"net.{name}"] for name in NET_COLUMNS},
+    )
+    truth = GroundTruth(
+        region_code=region,
+        **{name: views[f"truth.{name}"] for name in TRUTH_COLUMNS},
+    )
+    return RegionAssets(pop=pop, net=net, truth=truth,
+                        scale=float(meta["scale"]))

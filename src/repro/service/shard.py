@@ -167,6 +167,8 @@ class ShardConfig:
     store_max_bytes: int | None = None
     lease_ttl_s: float = 120.0
     checkpoint_every: int = 0  #: snapshot interval in ticks (0 = off)
+    plane: bool = False  #: share region assets across shards via repro.plane
+    plane_dir: str = ""  #: plane coordination dir (default: <store>/plane)
     sys_path: tuple[str, ...] = field(default_factory=tuple)
 
 
@@ -215,6 +217,12 @@ def shard_main(config: ShardConfig) -> None:
     for entry in config.sys_path:
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    if config.plane:
+        # Environment, not arguments: the broker's pool workers and every
+        # nested load site inherit the plane opt-in automatically.
+        os.environ["REPRO_PLANE"] = "1"
+        if config.plane_dir:
+            os.environ["REPRO_PLANE_DIR"] = config.plane_dir
     from .server import make_server
 
     service, _store = build_shard_service(config)
@@ -285,7 +293,9 @@ class ShardFleet:
                  max_workers: int | None = None, parallel: bool = True,
                  store_max_bytes: int | None = None,
                  lease_ttl_s: float = 120.0,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 plane: bool = False,
+                 plane_dir: str | Path | None = None) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.store_root = Path(store_root)
@@ -293,6 +303,11 @@ class ShardFleet:
         self.run_dir = (Path(run_dir) if run_dir is not None
                         else self.store_root / "run")
         self.host = host
+        self.plane = plane
+        # One plane per fleet, under the store root like the lease table:
+        # a single REPRO_STORE_DIR still configures everything shared.
+        self.plane_dir = Path(plane_dir) if plane_dir is not None \
+            else self.store_root / "plane"
         self._ctx = multiprocessing.get_context("spawn")
         self.shards: list[ShardHandle] = []
         self._kwargs = dict(
@@ -300,7 +315,8 @@ class ShardFleet:
             batch_size=batch_size, elastic_max=elastic_max,
             max_workers=max_workers, parallel=parallel,
             store_max_bytes=store_max_bytes, lease_ttl_s=lease_ttl_s,
-            checkpoint_every=checkpoint_every)
+            checkpoint_every=checkpoint_every,
+            plane=plane, plane_dir=str(self.plane_dir))
 
     def config_of(self, index: int) -> ShardConfig:
         """The picklable config one shard process is spawned with."""
@@ -378,7 +394,12 @@ class ShardFleet:
         return True
 
     def stop(self, *, timeout_s: float = 60.0) -> None:
-        """Drain every shard (reverse order, arbitrary but deterministic)."""
+        """Drain every shard (reverse order, arbitrary but deterministic).
+
+        With the plane on, the supervisor owns the final unlink: once
+        every shard has exited, a gc pass reclaims any segment the
+        shards' own last-man-out cleanup missed (e.g. a killed shard).
+        """
         for handle in reversed(self.shards):
             if handle.process.is_alive():
                 handle.process.terminate()
@@ -387,6 +408,13 @@ class ShardFleet:
             if handle.process.is_alive():
                 handle.process.kill()
                 handle.process.join(5.0)
+        if self.plane:
+            from ..plane import plane_gc
+
+            try:
+                plane_gc(self.plane_dir)
+            except OSError:  # pragma: no cover - teardown is best-effort
+                pass
 
     def __enter__(self) -> "ShardFleet":
         return self.start()

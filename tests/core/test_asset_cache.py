@@ -1,0 +1,85 @@
+"""The bounded per-process asset cache and its ``assets.cache.*`` telemetry.
+
+Regression for the unbounded-cache satellite: the historical
+``lru_cache(maxsize=64)`` could pin 64 full region bundles in a worker
+while the warm-pool preload cap promised at most a handful.  The cache
+now honours ``max_preload_assets()`` (re-read per insert) and publishes
+hit/miss/eviction counters.
+"""
+
+import pytest
+
+from repro.core import runner
+from repro.core.runner import _AssetCache, load_region_assets
+from repro.obs import MetricsRegistry
+from repro.plane.manifest import AssetKey
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    load_region_assets.cache_clear()
+    yield
+    load_region_assets.cache_clear()
+
+
+def test_capacity_tracks_preload_cap(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_PRELOAD_ASSETS", "2")
+    assert _AssetCache.capacity() == 2
+    monkeypatch.setenv("REPRO_MAX_PRELOAD_ASSETS", "0")
+    assert _AssetCache.capacity() == 1  # floor: the bundle in use stays
+    monkeypatch.delenv("REPRO_MAX_PRELOAD_ASSETS")
+    from repro.core.parallel import MAX_PRELOAD_ASSETS
+
+    assert _AssetCache.capacity() == MAX_PRELOAD_ASSETS
+
+
+def test_lru_eviction_respects_cap_and_counts(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_PRELOAD_ASSETS", "2")
+    cache = _AssetCache()
+    reg = MetricsRegistry()
+    k = [AssetKey("VT", 1e-3, i) for i in range(3)]
+    cache.put(k[0], "a0", reg)
+    cache.put(k[1], "a1", reg)
+    assert cache.get(k[0], reg) == "a0"  # refresh 0: now 1 is LRU
+    cache.put(k[2], "a2", reg)
+    assert len(cache) == 2
+    assert reg.value("assets.cache.evictions") == 1
+    assert cache.get(k[1], reg) is None  # the LRU one went
+    assert cache.get(k[0], reg) == "a0"
+    assert cache.get(k[2], reg) == "a2"
+    assert reg.value("assets.cache.hits") == 3
+    assert reg.value("assets.cache.misses") == 1
+
+
+def test_cap_shrink_applies_on_next_insert(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_PRELOAD_ASSETS", "4")
+    cache = _AssetCache()
+    reg = MetricsRegistry()
+    for i in range(4):
+        cache.put(AssetKey("VT", 1e-3, i), i, reg)
+    assert len(cache) == 4
+    monkeypatch.setenv("REPRO_MAX_PRELOAD_ASSETS", "2")
+    cache.put(AssetKey("VT", 1e-3, 99), 99, reg)
+    assert len(cache) == 2  # shrunk without a restart
+    assert reg.value("assets.cache.evictions") == 3
+
+
+def test_load_region_assets_publishes_metrics():
+    reg = MetricsRegistry()
+    a = load_region_assets("VT", 1e-3, 424242, 40, metrics=reg)
+    b = load_region_assets("VT", 1e-3, 424242, 40, metrics=reg)
+    assert a is b
+    assert reg.value("assets.cache.misses") == 1
+    assert reg.value("assets.cache.hits") == 1
+    # Distinct truth horizon = distinct canonical key = a real miss.
+    c = load_region_assets("VT", 1e-3, 424242, 50, metrics=reg)
+    assert c is not a
+    assert reg.value("assets.cache.misses") == 2
+
+
+def test_cache_clear_back_compat():
+    reg = MetricsRegistry()
+    load_region_assets("VT", 1e-3, 424242, 40, metrics=reg)
+    assert len(runner._ASSET_CACHE) == 1
+    load_region_assets.cache_clear()
+    assert len(runner._ASSET_CACHE) == 0

@@ -1,0 +1,87 @@
+"""Plane-attached runs are bit-identical to private-copy runs.
+
+The acceptance matrix: every transmission backend (dense / frontier /
+auto), solo and batched widths K ∈ {1, 16}, plus checkpointed crash →
+resume — all byte-identical between a run whose assets came from the
+shared plane's read-only views and a run on privately built copies.
+"""
+
+import pytest
+
+from repro.checkpoint import CheckpointPlan
+from repro.core.parallel import InstanceSpec, run_instances, supervise_instances
+from repro.core.runner import load_region_assets
+from repro.obs import MetricsRegistry
+from repro.plane import plane_stats
+from repro.resilience import FaultPlan, RetryPolicy
+from tests.checkpoint.test_equivalence import assert_payload_bytes_identical
+
+DAYS = 8
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+def specs(backend, k):
+    return [
+        InstanceSpec(
+            region_code="VT",
+            params={"TAU": 0.3, "SYMP": 0.65, "SH_COMPLIANCE": 0.6,
+                    "backend": backend},
+            n_days=DAYS, scale=1e-3, seed=100 + 13 * i,
+            label=f"plane-eq-{backend}-k{k}-i{i}", asset_seed=0)
+        for i in range(k)
+    ]
+
+
+def _copy_run(monkeypatch, backend, k):
+    monkeypatch.delenv("REPRO_PLANE", raising=False)
+    load_region_assets.cache_clear()
+    return run_instances(specs(backend, k), parallel=False,
+                         registry=MetricsRegistry())
+
+
+@pytest.mark.parametrize("backend", ["dense", "frontier", "auto"])
+@pytest.mark.parametrize("k", [1, 16])
+def test_plane_run_bit_identical(plane_root, monkeypatch, backend, k):
+    clean = _copy_run(monkeypatch, backend, k)
+
+    monkeypatch.setenv("REPRO_PLANE", "1")
+    load_region_assets.cache_clear()
+    reg = MetricsRegistry()
+    planed = run_instances(specs(backend, k), parallel=False, registry=reg)
+
+    assert reg.value("plane.built") == 1  # the plane actually served
+    assert reg.value("plane.fallbacks") == 0
+    assert len(planed) == len(clean) == k
+    for c, p in zip(clean, planed):
+        assert_payload_bytes_identical(c, p)
+
+
+def test_checkpoint_crash_resume_on_plane(plane_root, monkeypatch,
+                                          tmp_path):
+    """Mid-run crash + checkpoint resume, with the assets on the plane:
+    still byte-identical to a clean private-copy run."""
+    clean = _copy_run(monkeypatch, "auto", 4)
+
+    monkeypatch.setenv("REPRO_PLANE", "1")
+    load_region_assets.cache_clear()
+    plan = CheckpointPlan(store_root=str(tmp_path / "ck"), every=3)
+    faults = FaultPlan.parse(["worker.crash_mid_run:tick=4,times=1"],
+                             seed=0)
+    reg = MetricsRegistry()
+    res = supervise_instances(specs("auto", 4), parallel=False,
+                              retry=FAST_RETRY, faults=faults,
+                              registry=reg, checkpoint=plan)
+    assert res.ok and res.retries == 1
+    # Attempt 0 built the plane and then crashed — and the supervisor
+    # discards failed-attempt telemetry by design, so the build counter
+    # died with that attempt.  The evidence lives in the plane itself:
+    # the segment is up with our live ref, and the resumed attempt
+    # re-served the same read-only views straight from the process
+    # cache (one hit, zero misses — the bundle never left the plane).
+    assert reg.value("assets.cache.hits") == 1
+    assert reg.value("assets.cache.misses") == 0
+    stats = plane_stats(plane_root)
+    assert len(stats["segments"]) == 1
+    assert stats["segments"][0]["live_refs"] >= 1
+    for c, p in zip(clean, res.results):
+        assert_payload_bytes_identical(c, p)
